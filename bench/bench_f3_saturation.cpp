@@ -1,0 +1,78 @@
+/**
+ * @file
+ * F3 — Control-plane saturation: achieved provisioning throughput
+ * and latency percentiles versus offered deploy rate, full vs
+ * linked clones.
+ *
+ * Reconstructed [R] from "the management control plane now becomes a
+ * significant limiting factor in deploying cloud resources": full
+ * clones saturate early on datastore copy bandwidth; linked clones
+ * push an order of magnitude further but then hit a *control-plane*
+ * ceiling (dispatch slots / host agents / DB) far below the
+ * hardware's data capacity.  Utilizations are snapshotted at the end
+ * of the offered window (before draining), and the bottleneck column
+ * makes the attribution explicit.  The sweep cloud leases VMs for 20
+ * minutes so the standing population churns instead of exhausting
+ * host capacity.
+ */
+
+#include "analysis/bottleneck.hh"
+#include "bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace vcp;
+    setLogQuiet(true);
+    double window_h = argc > 1 ? std::atof(argv[1]) : 1.0;
+    banner("F3", "throughput and latency vs offered deploy rate");
+
+    Table t({"mode", "offered/h", "achieved/h", "p50_s", "p95_s",
+             "failed", "bottleneck", "bneck_util"});
+
+    auto sweep = [&](bool linked, std::vector<double> rates) {
+        for (double rate : rates) {
+            CloudSetupSpec spec = sweepCloud(linked);
+            spec.workload.duration = hours(window_h);
+            spec.workload.arrival.rate_per_hour = rate;
+            spec.server.dispatch_width = 16;
+            CloudSimulation cs(spec, 31);
+            cs.start();
+            cs.runFor(hours(window_h));
+            // Snapshot utilizations over the loaded window.
+            auto utils = collectUtilizations(cs.server());
+            double provisioned_in_window =
+                static_cast<double>(cs.cloud().vmsProvisioned());
+            cs.runFor(hours(6)); // drain
+
+            OpType op =
+                linked ? OpType::CloneLinked : OpType::CloneFull;
+            Histogram &lat = cs.server().latencyHistogram(op);
+            const ResourceUtilization *top = nullptr;
+            for (const auto &u : utils) {
+                if (!top || u.utilization > top->utilization)
+                    top = &u;
+            }
+            t.row()
+                .cell(linked ? "linked" : "full")
+                .cell(rate, 0)
+                .cell(provisioned_in_window / window_h, 1)
+                .cell(lat.p50() / 1e6, 1)
+                .cell(lat.p95() / 1e6, 1)
+                .cell(cs.server().opsFailed())
+                .cell(top ? top->name : "none")
+                .cell(top ? top->utilization : 0.0, 2);
+        }
+    };
+    sweep(false, {60, 240, 480, 960, 1920, 3840});
+    sweep(true, {60, 240, 960, 3840, 7680, 15360});
+
+    printTable("saturation sweep (" + std::to_string(window_h) +
+                   "h offered window; utils at window end)",
+               t);
+    std::printf(
+        "expected shape: full clones flatten first on the data plane "
+        "(datastore pipes); linked clones sustain ~10x higher rates "
+        "and then flatten on a control-plane resource.\n");
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * F5 — Concurrency-limit sweep: how per-host agent slots, per-
+ * datastore slots, and the server dispatch width bound linked-clone
+ * throughput.
+ *
+ * Reconstructed [R]: the ablation behind "the management control
+ * plane now becomes a significant limiting factor".  Each row fixes
+ * a provisioning storm and varies one admission knob; the knee in
+ * each column locates that resource's contribution to the ceiling.
+ */
+
+#include "bench_util.hh"
+
+namespace {
+
+/** Time to complete a fixed batch of linked-clone deploys. */
+double
+batchMakespanMinutes(const vcp::ManagementServerConfig &server_cfg,
+                     int batch)
+{
+    using namespace vcp;
+    CloudSetupSpec spec = sweepCloud(true);
+    spec.server = server_cfg;
+    spec.workload.arrival.rate_per_hour = 1.0; // idle generator
+    spec.workload.duration = seconds(1);
+    CloudSimulation cs(spec, 51);
+    int remaining = batch;
+    SimTime done_at = 0;
+    for (int i = 0; i < batch; ++i) {
+        DeployRequest req;
+        req.tenant = cs.tenantIds()[0];
+        req.tmpl = cs.templateIds()[0];
+        cs.cloud().deployVApp(req, [&](const VApp &va) {
+            if (va.state != VAppState::Deployed)
+                fatal("bench_f5: deploy failed");
+            if (--remaining == 0)
+                done_at = cs.sim().now();
+        });
+    }
+    cs.sim().runUntil(hours(12));
+    if (remaining != 0)
+        fatal("bench_f5: batch did not finish");
+    return toMinutes(done_at);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace vcp;
+    setLogQuiet(true);
+    int batch = argc > 1 ? std::atoi(argv[1]) : 512;
+    banner("F5", "admission-limit sweep (batch of " +
+                     std::to_string(batch) + " linked clones)");
+
+    Table t({"knob", "value", "makespan_min", "throughput/h"});
+    auto add_row = [&](const char *knob, int value, double mins) {
+        t.row().cell(knob).cell(static_cast<std::int64_t>(value))
+            .cell(mins, 1)
+            .cell(60.0 * batch / mins, 0);
+    };
+
+    for (int slots : {1, 2, 4, 8, 16}) {
+        ManagementServerConfig cfg;
+        cfg.agent.op_slots = slots;
+        add_row("host-agent-slots", slots,
+                batchMakespanMinutes(cfg, batch));
+    }
+    for (int slots : {1, 2, 4, 8, 16}) {
+        ManagementServerConfig cfg;
+        cfg.datastore_slots = slots;
+        add_row("datastore-slots", slots,
+                batchMakespanMinutes(cfg, batch));
+    }
+    for (int width : {4, 8, 16, 32, 64, 128}) {
+        ManagementServerConfig cfg;
+        cfg.dispatch_width = width;
+        add_row("dispatch-width", width,
+                batchMakespanMinutes(cfg, batch));
+    }
+    for (int conns : {1, 2, 4, 8, 16}) {
+        ManagementServerConfig cfg;
+        cfg.db.connections = conns;
+        add_row("db-connections", conns,
+                batchMakespanMinutes(cfg, batch));
+    }
+    printTable("makespan vs admission limits", t);
+    std::printf("expected shape: each knob helps until another "
+                "resource binds; with the defaults, the per-"
+                "datastore slots are the first ceiling for linked "
+                "clones.\n");
+    return 0;
+}

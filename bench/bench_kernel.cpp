@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Kernel microbenchmarks (google-benchmark): raw throughput of the
+ * simulation substrate — event queue, service center, lock manager,
+ * histogram, and the processor-sharing pipe.  These bound how large
+ * a cloud and how long a window the characterization benches can
+ * afford.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "controlplane/lock_manager.hh"
+#include "infra/bandwidth.hh"
+#include "sim/service_center.hh"
+#include "sim/simulator.hh"
+#include "stats/histogram.hh"
+
+namespace vcp {
+namespace {
+
+void
+BM_EventScheduleRun(benchmark::State &state)
+{
+    const int batch = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        Simulator sim;
+        for (int i = 0; i < batch; ++i)
+            sim.schedule(i % 1000, [] {});
+        sim.run();
+        benchmark::DoNotOptimize(sim.eventsProcessed());
+    }
+    state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EventScheduleRun)->Arg(1000)->Arg(100000);
+
+void
+BM_EventCancelHeavy(benchmark::State &state)
+{
+    const int batch = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        Simulator sim;
+        std::vector<EventId> ids;
+        ids.reserve(static_cast<std::size_t>(batch));
+        for (int i = 0; i < batch; ++i)
+            ids.push_back(sim.schedule(i % 1000, [] {}));
+        for (int i = 0; i < batch; i += 2)
+            sim.cancel(ids[static_cast<std::size_t>(i)]);
+        sim.run();
+    }
+    state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EventCancelHeavy)->Arg(100000);
+
+void
+BM_ServiceCenterThroughput(benchmark::State &state)
+{
+    const int jobs = 100000;
+    const int servers = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        Simulator sim;
+        ServiceCenter sc(sim, "bench", servers);
+        for (int i = 0; i < jobs; ++i)
+            sc.submit(100, [] {});
+        sim.run();
+        benchmark::DoNotOptimize(sc.completed());
+    }
+    state.SetItemsProcessed(state.iterations() * jobs);
+}
+BENCHMARK(BM_ServiceCenterThroughput)->Arg(1)->Arg(8)->Arg(64);
+
+void
+BM_LockAcquireRelease(benchmark::State &state)
+{
+    const int rounds = 50000;
+    for (auto _ : state) {
+        Simulator sim;
+        LockManager lm(sim);
+        for (int i = 0; i < rounds; ++i) {
+            std::vector<LockRequest> reqs = {
+                {lockKey(VmId(i % 64)), LockMode::Exclusive},
+                {lockKey(HostId(i % 8)), LockMode::Shared},
+            };
+            lm.acquireAll(reqs, [&lm, reqs] {
+                lm.releaseAll(reqs);
+            });
+        }
+        sim.run();
+        benchmark::DoNotOptimize(lm.grants());
+    }
+    state.SetItemsProcessed(state.iterations() * rounds);
+}
+BENCHMARK(BM_LockAcquireRelease);
+
+void
+BM_HistogramAddQuantile(benchmark::State &state)
+{
+    Rng rng(1);
+    Histogram h(1.0, 1.15, 256);
+    for (auto _ : state) {
+        for (int i = 0; i < 1000; ++i)
+            h.add(rng.exponential(1000.0));
+        benchmark::DoNotOptimize(h.p95());
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_HistogramAddQuantile);
+
+void
+BM_SharedBandwidthChurn(benchmark::State &state)
+{
+    // Heavily overlapping transfers make the PS recompute O(n) per
+    // membership change; keep n moderate so the default run stays
+    // fast.
+    const int transfers = 4000;
+    for (auto _ : state) {
+        Simulator sim;
+        SharedBandwidthResource pipe(sim, "bench", 1e9);
+        Rng rng(3);
+        for (int i = 0; i < transfers; ++i) {
+            SimDuration at = rng.uniformInt(0, seconds(10));
+            Bytes sz = rng.uniformInt(1, 10000000);
+            sim.schedule(at, [&pipe, sz] {
+                pipe.startTransfer(sz, [] {});
+            });
+        }
+        sim.run();
+        benchmark::DoNotOptimize(pipe.bytesCompleted());
+    }
+    state.SetItemsProcessed(state.iterations() * transfers);
+}
+BENCHMARK(BM_SharedBandwidthChurn);
+
+} // namespace
+} // namespace vcp
+
+BENCHMARK_MAIN();

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * T1 — Configuration of the two studied self-service cloud setups.
+ *
+ * Reconstructed [R]: the paper's Table 1 describes the two
+ * real-world environments it profiles.  We print the corresponding
+ * descriptive table for our two modeled profiles (DESIGN.md maps
+ * each column to the abstract's claims).
+ */
+
+#include "analysis/report.hh"
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace vcp;
+    setLogQuiet(true);
+    banner("T1", "configuration of the studied cloud setups");
+
+    CloudSimulation cloud_a(cloudASpec(), 1);
+    CloudSimulation cloud_b(cloudBSpec(), 2);
+    printTable("cloud setups",
+               setupTable({&cloud_a, &cloud_b}));
+
+    // Derived sizing: theoretical VM capacity and linked-clone pool
+    // seeds.
+    Table derived({"cloud", "vcpu_capacity", "mem_capacity",
+                   "storage_total", "pool_seeds"});
+    for (CloudSimulation *cs : {&cloud_a, &cloud_b}) {
+        double vcpus = 0.0;
+        Bytes mem = 0;
+        for (HostId h : cs->hostIds()) {
+            vcpus += cs->inventory().host(h).vcpuCapacity();
+            mem += cs->inventory().host(h).memoryCapacity();
+        }
+        Bytes storage = 0;
+        for (DatastoreId d : cs->datastoreIds())
+            storage += cs->inventory().datastore(d).capacity();
+        std::size_t seeds = 0;
+        for (TemplateId t : cs->templateIds())
+            seeds += cs->cloud().pool().replicas(t).size();
+        derived.row()
+            .cell(cs->spec().name)
+            .cell(vcpus, 0)
+            .cell(formatBytes(mem))
+            .cell(formatBytes(storage))
+            .cell(static_cast<std::uint64_t>(seeds));
+    }
+    printTable("derived capacity", derived);
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Shared helpers for the experiment benches: banner printing and a
+ * deploy-only cloud spec used by several sweeps.
+ */
+
+#ifndef VCP_BENCH_BENCH_UTIL_HH
+#define VCP_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+
+#include "sim/logging.hh"
+#include "stats/table.hh"
+#include "workload/profiles.hh"
+
+namespace vcp {
+
+/** Print an experiment banner. */
+inline void
+banner(const std::string &id, const std::string &title)
+{
+    std::printf("\n==== %s: %s ====\n\n", id.c_str(), title.c_str());
+}
+
+/** Print a table with a caption. */
+inline void
+printTable(const std::string &caption, const Table &t)
+{
+    std::printf("-- %s --\n%s\n", caption.c_str(),
+                t.toText().c_str());
+}
+
+/**
+ * A mid-size cloud used by the sweep benches: 16 hosts, 4
+ * datastores, one single-VM template, deploy-only workload.
+ * Individual benches override what they sweep.
+ */
+inline CloudSetupSpec
+sweepCloud(bool linked)
+{
+    CloudSetupSpec s;
+    s.name = linked ? "sweep-linked" : "sweep-full";
+    s.infra.hosts = 16;
+    s.infra.host.cores = 16;
+    s.infra.host.memory = gib(192);
+    s.infra.datastores = 4;
+    s.infra.ds_capacity = gib(4096);
+    s.infra.ds_copy_bandwidth = 200.0 * 1024 * 1024;
+
+    // High CPU overcommit + a short lease keep the standing VM
+    // population from hitting the *capacity* limit before the
+    // control plane does — the sweeps probe the management plane,
+    // not host sizing.
+    s.infra.host.cpu_overcommit = 8.0;
+
+    TenantConfig t;
+    t.name = "org";
+    t.vm_quota = 0;
+    s.tenants.push_back(t);
+    s.templates = {{"tmpl", gib(8), 0.5, 1, gib(1), 1, minutes(20)}};
+    s.director.use_linked_clones = linked;
+    s.director.pool.max_clones_per_base = 100000;
+
+    s.workload.duration = hours(2);
+    s.workload.arrival.rate_per_hour = 60.0;
+    s.workload.arrival.cv = 1.0;
+    s.workload.action_weights = {1, 0, 0, 0, 0, 0, 0};
+    s.workload.record_ops = true;
+    return s;
+}
+
+} // namespace vcp
+
+#endif // VCP_BENCH_BENCH_UTIL_HH

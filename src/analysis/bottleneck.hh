@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Bottleneck attribution: gathers the mean utilization of every
+ * bounded control-plane and data-plane resource so a run can answer
+ * the paper's central question — *which* plane limits provisioning.
+ */
+
+#ifndef VCP_ANALYSIS_BOTTLENECK_HH
+#define VCP_ANALYSIS_BOTTLENECK_HH
+
+#include <string>
+#include <vector>
+
+#include "controlplane/management_server.hh"
+#include "stats/table.hh"
+
+namespace vcp {
+
+/** One resource's observed utilization. */
+struct ResourceUtilization
+{
+    std::string name;
+
+    /** Control plane vs data plane, for the headline attribution. */
+    bool control_plane = true;
+
+    /** Mean utilization over the run, in [0, 1]. */
+    double utilization = 0.0;
+};
+
+/**
+ * Collect utilizations: API threads, dispatch slots, DB connections,
+ * host agents (mean and max across hosts), datastore copy pipes
+ * (mean and max), and the network fabric.
+ */
+std::vector<ResourceUtilization>
+collectUtilizations(ManagementServer &srv);
+
+/** Render the utilizations as a table, most-loaded first. */
+Table utilizationTable(const std::vector<ResourceUtilization> &u);
+
+/** Name of the most-utilized resource ("none" when all idle). */
+std::string bottleneckResource(
+    const std::vector<ResourceUtilization> &u);
+
+/** True when the most-utilized resource is a control-plane one. */
+bool controlPlaneLimited(const std::vector<ResourceUtilization> &u);
+
+} // namespace vcp
+
+#endif // VCP_ANALYSIS_BOTTLENECK_HH

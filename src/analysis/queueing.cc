@@ -1,0 +1,42 @@
+#include "analysis/queueing.hh"
+
+#include "sim/logging.hh"
+
+namespace vcp {
+
+double
+erlangC(double a, int c)
+{
+    if (a <= 0.0)
+        return 0.0;
+    if (c < 1)
+        panic("erlangC: c must be >= 1");
+    // Numerically stable iterative Erlang-B, then convert to C.
+    double b = 1.0;
+    for (int k = 1; k <= c; ++k)
+        b = (a * b) / (k + a * b);
+    double rho = a / c;
+    return b / (1.0 - rho + rho * b);
+}
+
+MmcResult
+mmcAnalysis(double lambda, double mu, int c)
+{
+    if (lambda <= 0.0 || mu <= 0.0 || c < 1)
+        fatal("mmcAnalysis: invalid parameters");
+    double a = lambda / mu;
+    double rho = a / c;
+    if (rho >= 1.0)
+        fatal("mmcAnalysis: unstable system (rho = %f)", rho);
+
+    MmcResult r;
+    r.rho = rho;
+    r.p_wait = erlangC(a, c);
+    r.wq = r.p_wait / (c * mu - lambda);
+    r.w = r.wq + 1.0 / mu;
+    r.lq = lambda * r.wq;
+    r.l = lambda * r.w;
+    return r;
+}
+
+} // namespace vcp

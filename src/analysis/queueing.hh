@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Analytic queueing formulas (M/M/c) used to validate the simulator:
+ * the service-center model driven by Poisson arrivals and exponential
+ * service must reproduce Erlang-C waiting behaviour (experiment T3).
+ */
+
+#ifndef VCP_ANALYSIS_QUEUEING_HH
+#define VCP_ANALYSIS_QUEUEING_HH
+
+namespace vcp {
+
+/** Steady-state M/M/c metrics. */
+struct MmcResult
+{
+    /** Offered load per server, lambda / (c * mu). */
+    double rho = 0.0;
+
+    /** Erlang-C probability an arrival must wait. */
+    double p_wait = 0.0;
+
+    /** Mean waiting time in queue (same time unit as 1/mu). */
+    double wq = 0.0;
+
+    /** Mean sojourn time (wait + service). */
+    double w = 0.0;
+
+    /** Mean queue length (excluding in service). */
+    double lq = 0.0;
+
+    /** Mean number in system. */
+    double l = 0.0;
+};
+
+/**
+ * Solve the M/M/c queue.
+ * @param lambda arrival rate.
+ * @param mu per-server service rate.
+ * @param c number of servers (>= 1).
+ * @pre lambda < c * mu (stable); fatal otherwise.
+ */
+MmcResult mmcAnalysis(double lambda, double mu, int c);
+
+/** Erlang-C probability of waiting for given load a = lambda/mu. */
+double erlangC(double a, int c);
+
+} // namespace vcp
+
+#endif // VCP_ANALYSIS_QUEUEING_HH

@@ -1,0 +1,32 @@
+#include "cloud/catalog.hh"
+
+#include "sim/logging.hh"
+
+namespace vcp {
+
+void
+Catalog::add(const VAppTemplate &tmpl)
+{
+    if (!tmpl.id.valid())
+        panic("Catalog::add: invalid template id");
+    if (entries.count(tmpl.id))
+        panic("Catalog::add: duplicate template id %lld",
+              static_cast<long long>(tmpl.id.value));
+    if (tmpl.vm_count < 1)
+        fatal("Catalog::add: template %s has vm_count < 1",
+              tmpl.name.c_str());
+    entries.emplace(tmpl.id, tmpl);
+    order.push_back(tmpl.id);
+}
+
+const VAppTemplate &
+Catalog::get(TemplateId id) const
+{
+    auto it = entries.find(id);
+    if (it == entries.end())
+        panic("Catalog: no such template %lld",
+              static_cast<long long>(id.value));
+    return it->second;
+}
+
+} // namespace vcp

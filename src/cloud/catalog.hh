@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The template catalog: golden-master VMs that self-service deploys
+ * clone from, plus the vApp composition (how many VMs one deploy
+ * creates) and the default lease.
+ */
+
+#ifndef VCP_CLOUD_CATALOG_HH
+#define VCP_CLOUD_CATALOG_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "infra/ids.hh"
+#include "sim/types.hh"
+
+namespace vcp {
+
+/** One catalog entry. */
+struct VAppTemplate
+{
+    TemplateId id;
+    std::string name;
+
+    /** The golden-master VM (is_template) in the inventory. */
+    VmId source_vm;
+
+    /** VMs instantiated per vApp deploy. */
+    int vm_count = 1;
+
+    /** Default runtime lease for deployed vApps. */
+    SimDuration default_lease = hours(8);
+};
+
+/** Registry of vApp templates. */
+class Catalog
+{
+  public:
+    Catalog() = default;
+
+    /** Register a template; the id must be fresh. */
+    void add(const VAppTemplate &tmpl);
+
+    bool has(TemplateId id) const { return entries.count(id) > 0; }
+
+    /** Lookup; panics if missing. */
+    const VAppTemplate &get(TemplateId id) const;
+
+    /** All template ids in insertion order. */
+    const std::vector<TemplateId> &ids() const { return order; }
+
+    std::size_t size() const { return entries.size(); }
+
+  private:
+    std::map<TemplateId, VAppTemplate> entries;
+    std::vector<TemplateId> order;
+};
+
+} // namespace vcp
+
+#endif // VCP_CLOUD_CATALOG_HH

@@ -1,0 +1,118 @@
+#include "cloud/ha_manager.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "sim/logging.hh"
+
+namespace vcp {
+
+HaManager::HaManager(ManagementServer &server)
+    : srv(server), inv(server.inventory()),
+      stats(server.statRegistry())
+{}
+
+std::size_t
+HaManager::crashHost(HostId host)
+{
+    if (!inv.hasHost(host))
+        panic("HaManager::crashHost: no such host");
+    Host &h = inv.host(host);
+    if (isCrashed(host) || !h.connected())
+        return 0;
+
+    std::vector<VmId> victims;
+    for (VmId vm_id : h.vms()) {
+        Vm &vm = inv.vm(vm_id);
+        PowerState ps = vm.powerState();
+        // PoweredOn / PoweringOn VMs hold a commitment that no
+        // in-flight operation will release, so the crash must.
+        // PoweringOff VMs are left to their power-off operation,
+        // which completes the transition and the release itself.
+        if (ps == PowerState::PoweredOn ||
+            ps == PowerState::PoweringOn) {
+            // An abrupt stop, not a graceful power-off: no
+            // management operation runs; state just collapses.
+            vm.forcePowerState(PowerState::PoweredOff);
+            h.release(vm.vcpus, vm.memory);
+            victims.push_back(vm_id);
+        }
+    }
+    std::sort(victims.begin(), victims.end());
+    h.setConnected(false);
+
+    ++crash_count;
+    vms_crashed += victims.size();
+    stats.counter("ha.crashes").inc();
+    stats.counter("ha.vms_crashed")
+        .inc(static_cast<std::uint64_t>(victims.size()));
+    std::size_t n = victims.size();
+    crashed.emplace(host, std::move(victims));
+    return n;
+}
+
+void
+HaManager::recoverHost(HostId host, std::function<void(bool)> done)
+{
+    auto it = crashed.find(host);
+    if (it == crashed.end()) {
+        if (done)
+            done(false);
+        return;
+    }
+    std::vector<VmId> victims = std::move(it->second);
+    crashed.erase(it);
+
+    OpRequest add;
+    add.type = OpType::AddHost;
+    add.host = host;
+    srv.submit(add, [this, host, victims = std::move(victims),
+                     done = std::move(done)](const Task &t) mutable {
+        if (!t.succeeded()) {
+            // Remember the victims again; the caller may retry.
+            crashed.emplace(host, std::move(victims));
+            if (done)
+                done(false);
+            return;
+        }
+        if (victims.empty()) {
+            if (done)
+                done(true);
+            return;
+        }
+        // The boot storm: every victim powers back on through the
+        // regular control-plane pipeline.
+        auto pending =
+            std::make_shared<int>(static_cast<int>(victims.size()));
+        auto finish = std::make_shared<std::function<void(bool)>>(
+            std::move(done));
+        for (VmId vm : victims) {
+            if (!inv.hasVm(vm)) {
+                // Destroyed while the host was down.
+                if (--*pending == 0 && *finish)
+                    (*finish)(true);
+                continue;
+            }
+            OpRequest on;
+            on.type = OpType::PowerOn;
+            on.vm = vm;
+            on.tenant = inv.vm(vm).tenant;
+            srv.submit(on, [this, pending,
+                            finish](const Task &pt) {
+                if (pt.succeeded()) {
+                    ++vms_restarted;
+                    stats.counter("ha.vms_restarted").inc();
+                } else {
+                    ++restart_failures;
+                    stats.counter("ha.restart_failures").inc();
+                }
+                if (--*pending == 0 && *finish)
+                    (*finish)(true);
+            });
+        }
+    });
+}
+
+} // namespace vcp

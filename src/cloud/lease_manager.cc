@@ -1,0 +1,38 @@
+#include "cloud/lease_manager.hh"
+
+#include "sim/logging.hh"
+
+namespace vcp {
+
+LeaseManager::LeaseManager(Simulator &sim_,
+                           std::function<void(VAppId)> on_expire_)
+    : sim(sim_), on_expire(std::move(on_expire_))
+{
+    if (!on_expire)
+        panic("LeaseManager: expiry callback required");
+}
+
+void
+LeaseManager::schedule(VAppId vapp, SimTime expiry)
+{
+    cancel(vapp);
+    EventId ev = sim.scheduleAt(expiry, [this, vapp]() {
+        leases.erase(vapp);
+        ++expired;
+        on_expire(vapp);
+    });
+    leases.emplace(vapp, ev);
+}
+
+bool
+LeaseManager::cancel(VAppId vapp)
+{
+    auto it = leases.find(vapp);
+    if (it == leases.end())
+        return false;
+    sim.cancel(it->second);
+    leases.erase(it);
+    return true;
+}
+
+} // namespace vcp

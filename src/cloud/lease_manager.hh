@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Lease manager: self-service deployments expire.  Lease expiry is
+ * what turns a cloud's deploy stream into a deploy *and* teardown
+ * stream — the churn that multiplies management-operation load.
+ */
+
+#ifndef VCP_CLOUD_LEASE_MANAGER_HH
+#define VCP_CLOUD_LEASE_MANAGER_HH
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "infra/ids.hh"
+#include "sim/simulator.hh"
+
+namespace vcp {
+
+/** Schedules vApp lease expirations. */
+class LeaseManager
+{
+  public:
+    /**
+     * @param sim event kernel.
+     * @param on_expire invoked with the vApp whose lease ran out.
+     */
+    LeaseManager(Simulator &sim,
+                 std::function<void(VAppId)> on_expire);
+
+    LeaseManager(const LeaseManager &) = delete;
+    LeaseManager &operator=(const LeaseManager &) = delete;
+
+    /** Arm (or re-arm) a lease expiring at absolute time @p expiry. */
+    void schedule(VAppId vapp, SimTime expiry);
+
+    /** Disarm a lease (explicit undeploy). @return true if armed. */
+    bool cancel(VAppId vapp);
+
+    /** Leases currently armed. */
+    std::size_t active() const { return leases.size(); }
+
+    /** Leases that fired. */
+    std::uint64_t expirations() const { return expired; }
+
+  private:
+    Simulator &sim;
+    std::function<void(VAppId)> on_expire;
+    std::unordered_map<VAppId, EventId> leases;
+    std::uint64_t expired = 0;
+};
+
+} // namespace vcp
+
+#endif // VCP_CLOUD_LEASE_MANAGER_HH

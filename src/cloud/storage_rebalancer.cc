@@ -1,0 +1,169 @@
+#include "cloud/storage_rebalancer.hh"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace vcp {
+
+StorageRebalancer::StorageRebalancer(ManagementServer &server,
+                                     const RebalanceConfig &cfg_)
+    : srv(server), inv(server.inventory()),
+      stats(server.statRegistry()), cfg(cfg_)
+{
+    if (cfg.imbalance_threshold <= 0.0 ||
+        cfg.imbalance_threshold >= 1.0) {
+        fatal("StorageRebalancer: threshold must be in (0,1)");
+    }
+    if (cfg.max_moves_per_scan < 1)
+        fatal("StorageRebalancer: max_moves_per_scan must be >= 1");
+}
+
+double
+StorageRebalancer::utilizationSpread() const
+{
+    double lo = 1.0, hi = 0.0;
+    for (DatastoreId d : inv.datastoreIds()) {
+        double u = inv.datastore(d).utilization();
+        lo = std::min(lo, u);
+        hi = std::max(hi, u);
+    }
+    return inv.numDatastores() < 2 ? 0.0 : hi - lo;
+}
+
+bool
+StorageRebalancer::eligible(const Vm &vm) const
+{
+    if (vm.is_template || !vm.host.valid())
+        return false;
+    if (vm.powerState() != PowerState::PoweredOff)
+        return false;
+    if (vm.disks.empty())
+        return false;
+    for (DiskId d : vm.disks) {
+        const VirtualDisk &disk = inv.disk(d);
+        // Relocate requires standalone leaf disks.
+        if (disk.isDelta() || disk.ref_count > 0)
+            return false;
+    }
+    return true;
+}
+
+void
+StorageRebalancer::runOnce(std::function<void(int)> done)
+{
+    ++scan_count;
+    stats.counter("rebalance.scans").inc();
+
+    if (inv.numDatastores() < 2 ||
+        utilizationSpread() < cfg.imbalance_threshold) {
+        if (done)
+            done(0);
+        return;
+    }
+
+    // Fullest and emptiest datastores.
+    std::vector<DatastoreId> ds_ids = inv.datastoreIds();
+    auto by_util = [this](DatastoreId a, DatastoreId b) {
+        return inv.datastore(a).utilization() <
+               inv.datastore(b).utilization();
+    };
+    DatastoreId coldest =
+        *std::min_element(ds_ids.begin(), ds_ids.end(), by_util);
+    DatastoreId hottest =
+        *std::max_element(ds_ids.begin(), ds_ids.end(), by_util);
+
+    // Candidate VMs on the hottest datastore, largest first (fewer
+    // moves to close the gap).
+    struct Candidate
+    {
+        VmId vm;
+        Bytes size = 0;
+    };
+    std::vector<Candidate> candidates;
+    for (VmId vm_id : inv.vmIds()) {
+        const Vm &vm = inv.vm(vm_id);
+        if (!eligible(vm))
+            continue;
+        Bytes size = 0;
+        bool on_hottest = true;
+        for (DiskId d : vm.disks) {
+            const VirtualDisk &disk = inv.disk(d);
+            if (disk.datastore != hottest)
+                on_hottest = false;
+            size += disk.allocated;
+        }
+        if (on_hottest && size > 0)
+            candidates.push_back({vm_id, size});
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate &a, const Candidate &b) {
+                  if (a.size != b.size)
+                      return a.size > b.size;
+                  return a.vm < b.vm;
+              });
+
+    int issued = 0;
+    auto pending = std::make_shared<int>(0);
+    auto finished = std::make_shared<std::function<void(int)>>(
+        std::move(done));
+    Bytes projected_freed = 0;
+    Bytes gap_bytes = static_cast<Bytes>(
+        (inv.datastore(hottest).utilization() -
+         inv.datastore(coldest).utilization()) *
+        static_cast<double>(inv.datastore(hottest).capacity()));
+
+    for (const Candidate &c : candidates) {
+        if (issued >= cfg.max_moves_per_scan)
+            break;
+        // Stop once the projected spread is inside the threshold.
+        if (projected_freed >= gap_bytes / 2)
+            break;
+        OpRequest req;
+        req.type = OpType::Relocate;
+        req.vm = c.vm;
+        req.datastore = coldest;
+        ++issued;
+        ++moves_issued;
+        stats.counter("rebalance.moves_issued").inc();
+        *pending += 1;
+        Bytes size = c.size;
+        srv.submit(req, [this, pending, finished, size,
+                         issued](const Task &t) {
+            if (t.succeeded()) {
+                ++moves_ok;
+                bytes_moved += size;
+                stats.counter("rebalance.moves_ok").inc();
+            }
+            if (--*pending == 0 && *finished)
+                (*finished)(issued);
+        });
+        projected_freed += c.size;
+    }
+    if (issued == 0 && *finished)
+        (*finished)(0);
+}
+
+void
+StorageRebalancer::scheduleNext()
+{
+    srv.simulator().schedule(cfg.period, [this] {
+        if (!running)
+            return;
+        runOnce();
+        scheduleNext();
+    });
+}
+
+void
+StorageRebalancer::start()
+{
+    if (running)
+        return;
+    running = true;
+    scheduleNext();
+}
+
+} // namespace vcp

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Tenants (organizations) of the self-service cloud.  Each tenant has
+ * a VM quota; the director enforces it at deploy time.  Tenant
+ * identity also drives the fair-share dispatch policy in the control
+ * plane.
+ */
+
+#ifndef VCP_CLOUD_TENANT_HH
+#define VCP_CLOUD_TENANT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "infra/ids.hh"
+
+namespace vcp {
+
+/** Static description of a tenant. */
+struct TenantConfig
+{
+    std::string name;
+
+    /** Maximum simultaneously existing VMs; <= 0 means unlimited. */
+    int vm_quota = 0;
+};
+
+/** One self-service organization. */
+class Tenant
+{
+  public:
+    Tenant(TenantId id, TenantConfig cfg)
+        : tenant_id(id), config_(std::move(cfg))
+    {}
+
+    TenantId id() const { return tenant_id; }
+    const std::string &name() const { return config_.name; }
+    const TenantConfig &config() const { return config_; }
+
+    /** VMs currently existing for this tenant. */
+    int vmsInUse() const { return vms_in_use; }
+
+    /** @return true if @p n more VMs fit under the quota. */
+    bool
+    withinQuota(int n) const
+    {
+        return config_.vm_quota <= 0 ||
+               vms_in_use + n <= config_.vm_quota;
+    }
+
+    /** @{ Usage accounting (called by the director). */
+    void chargeVms(int n) { vms_in_use += n; }
+
+    void
+    refundVms(int n)
+    {
+        vms_in_use -= n;
+        if (vms_in_use < 0)
+            vms_in_use = 0;
+    }
+    /** @} */
+
+    /** @{ Lifetime counters for the characterization tables. */
+    std::uint64_t deploysRequested() const { return deploys_req; }
+    std::uint64_t deploysSucceeded() const { return deploys_ok; }
+    std::uint64_t deploysFailed() const { return deploys_fail; }
+    void noteDeployRequested() { ++deploys_req; }
+    void noteDeploySucceeded() { ++deploys_ok; }
+    void noteDeployFailed() { ++deploys_fail; }
+    /** @} */
+
+  private:
+    TenantId tenant_id;
+    TenantConfig config_;
+    int vms_in_use = 0;
+    std::uint64_t deploys_req = 0;
+    std::uint64_t deploys_ok = 0;
+    std::uint64_t deploys_fail = 0;
+};
+
+} // namespace vcp
+
+#endif // VCP_CLOUD_TENANT_HH

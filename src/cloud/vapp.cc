@@ -1,0 +1,23 @@
+#include "cloud/vapp.hh"
+
+namespace vcp {
+
+const char *
+vappStateName(VAppState s)
+{
+    switch (s) {
+      case VAppState::Deploying:
+        return "deploying";
+      case VAppState::Deployed:
+        return "deployed";
+      case VAppState::DeployFailed:
+        return "deploy-failed";
+      case VAppState::Undeploying:
+        return "undeploying";
+      case VAppState::Destroyed:
+        return "destroyed";
+    }
+    return "unknown";
+}
+
+} // namespace vcp

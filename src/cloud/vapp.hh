@@ -1,0 +1,51 @@
+/**
+ * @file
+ * A vApp: the unit of self-service deployment — a group of VMs
+ * instantiated together from one template, sharing a lease.
+ */
+
+#ifndef VCP_CLOUD_VAPP_HH
+#define VCP_CLOUD_VAPP_HH
+
+#include <vector>
+
+#include "infra/ids.hh"
+#include "sim/types.hh"
+
+namespace vcp {
+
+/** Lifecycle of a vApp. */
+enum class VAppState
+{
+    Deploying,
+    Deployed,
+    DeployFailed,
+    Undeploying,
+    Destroyed,
+};
+
+/** @return short name for a VAppState. */
+const char *vappStateName(VAppState s);
+
+/** One deployed (or deploying) vApp instance. */
+struct VApp
+{
+    VAppId id;
+    TenantId tenant;
+    TemplateId tmpl;
+    VAppState state = VAppState::Deploying;
+
+    /** Member VMs (filled in as clones complete). */
+    std::vector<VmId> vms;
+
+    SimTime requested_at = 0;
+    SimTime deployed_at = 0;
+    SimTime destroyed_at = 0;
+
+    /** Absolute lease expiry; 0 means no lease. */
+    SimTime lease_expiry = 0;
+};
+
+} // namespace vcp
+
+#endif // VCP_CLOUD_VAPP_HH

@@ -1,0 +1,37 @@
+#include "controlplane/database.hh"
+
+#include "sim/logging.hh"
+
+namespace vcp {
+
+InventoryDatabase::InventoryDatabase(Simulator &sim_,
+                                     Inventory &inventory_,
+                                     OpCostModel &costs_,
+                                     const DatabaseConfig &cfg)
+    : sim(sim_), inventory(inventory_), costs(costs_),
+      pool(sim_, "db", cfg.connections)
+{}
+
+std::size_t
+InventoryDatabase::inventorySize() const
+{
+    return inventory.numVms() + inventory.numHosts();
+}
+
+void
+InventoryDatabase::runTxns(int n, std::function<void()> done)
+{
+    if (n < 0)
+        panic("InventoryDatabase::runTxns: negative count");
+    if (n == 0) {
+        done();
+        return;
+    }
+    SimDuration service = costs.sampleDbTxn(inventorySize());
+    pool.submit(service, [this, n, done = std::move(done)]() mutable {
+        ++txn_count;
+        runTxns(n - 1, std::move(done));
+    });
+}
+
+} // namespace vcp

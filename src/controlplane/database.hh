@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Inventory-database model.
+ *
+ * The management server persists every state change through a
+ * relational database; in production deployments the DB is one of the
+ * first control-plane resources to saturate.  We model it as a small
+ * connection pool (c-server FIFO center) with per-transaction service
+ * times drawn from the cost model, which scales them with inventory
+ * size per the configured scaling law.
+ */
+
+#ifndef VCP_CONTROLPLANE_DATABASE_HH
+#define VCP_CONTROLPLANE_DATABASE_HH
+
+#include <functional>
+#include <memory>
+
+#include "controlplane/cost_model.hh"
+#include "infra/inventory.hh"
+#include "sim/service_center.hh"
+#include "sim/simulator.hh"
+
+namespace vcp {
+
+/** Sizing of the database model. */
+struct DatabaseConfig
+{
+    /** Parallel connections (servers in the queueing model). */
+    int connections = 4;
+};
+
+/** The management server's persistence backend. */
+class InventoryDatabase
+{
+  public:
+    InventoryDatabase(Simulator &sim, Inventory &inventory,
+                      OpCostModel &costs, const DatabaseConfig &cfg);
+
+    InventoryDatabase(const InventoryDatabase &) = delete;
+    InventoryDatabase &operator=(const InventoryDatabase &) = delete;
+
+    /**
+     * Run @p n transactions for one operation and call @p done.
+     * Transactions within an operation are serialized (txn i+1 only
+     * starts after txn i commits), matching how a task's writes
+     * depend on one another; transactions of *different* operations
+     * interleave across the connection pool.
+     */
+    void runTxns(int n, std::function<void()> done);
+
+    /** Transactions committed so far. */
+    std::uint64_t txnsCommitted() const { return txn_count; }
+
+    /** The underlying queueing station (stats, utilization). */
+    ServiceCenter &center() { return pool; }
+    const ServiceCenter &center() const { return pool; }
+
+    /** Current inventory size used for cost scaling. */
+    std::size_t inventorySize() const;
+
+  private:
+    Simulator &sim;
+    Inventory &inventory;
+    OpCostModel &costs;
+    ServiceCenter pool;
+    std::uint64_t txn_count = 0;
+};
+
+} // namespace vcp
+
+#endif // VCP_CONTROLPLANE_DATABASE_HH

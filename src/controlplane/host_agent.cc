@@ -1,0 +1,11 @@
+#include "controlplane/host_agent.hh"
+
+namespace vcp {
+
+HostAgent::HostAgent(Simulator &sim, HostId host,
+                     const HostAgentConfig &cfg)
+    : host_id(host),
+      slots(sim, "hostd:" + std::to_string(host.value), cfg.op_slots)
+{}
+
+} // namespace vcp

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Host-agent (hostd) model.
+ *
+ * Each hypervisor host runs a management agent that executes
+ * operations on behalf of the server.  The agent admits a small fixed
+ * number of concurrent operations; a slot is held for the whole
+ * host-side duration of an op, *including* any bulk data copy it
+ * drives — exactly the behaviour that made per-host op limits a
+ * first-order throughput bound in production control planes.
+ */
+
+#ifndef VCP_CONTROLPLANE_HOST_AGENT_HH
+#define VCP_CONTROLPLANE_HOST_AGENT_HH
+
+#include <functional>
+#include <string>
+
+#include "infra/ids.hh"
+#include "sim/service_center.hh"
+#include "sim/simulator.hh"
+
+namespace vcp {
+
+/** Sizing of a host agent. */
+struct HostAgentConfig
+{
+    /** Concurrent operations the agent admits. */
+    int op_slots = 4;
+};
+
+/** The management agent on one host. */
+class HostAgent
+{
+  public:
+    HostAgent(Simulator &sim, HostId host, const HostAgentConfig &cfg);
+
+    HostAgent(const HostAgent &) = delete;
+    HostAgent &operator=(const HostAgent &) = delete;
+
+    HostId host() const { return host_id; }
+
+    /**
+     * Acquire an op slot; @p granted fires when one is free.
+     * The caller must call release() when the op's host-side work
+     * (execution plus any data copy it drives) is done.
+     */
+    void acquireSlot(std::function<void()> granted) {
+        slots.acquire(std::move(granted));
+    }
+
+    /** Return a slot taken with acquireSlot. */
+    void release() { slots.release(); }
+
+    /**
+     * Convenience: run a host-side op of known duration in one shot
+     * (acquire, execute, release, done).
+     */
+    void execute(SimDuration service_time, std::function<void()> done) {
+        slots.submit(service_time, std::move(done));
+    }
+
+    /** Underlying queueing station. */
+    ServiceCenter &center() { return slots; }
+    const ServiceCenter &center() const { return slots; }
+
+  private:
+    HostId host_id;
+    ServiceCenter slots;
+};
+
+} // namespace vcp
+
+#endif // VCP_CONTROLPLANE_HOST_AGENT_HH

@@ -1,0 +1,1547 @@
+#include "controlplane/management_server.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "sim/logging.hh"
+
+namespace vcp {
+
+/**
+ * Per-task execution context.
+ *
+ * Tracks which resources the pipeline currently holds so that
+ * finish() can release them exactly once on every path — including
+ * the failure paths, where provisional inventory records and resource
+ * commitments are also rolled back.
+ *
+ * Rule enforced throughout this file: lambdas capture entity *ids*,
+ * never references; entities are re-fetched (and re-checked) after
+ * every asynchronous boundary, because the inventory may have changed
+ * while the task waited.
+ */
+struct ManagementServer::OpCtx
+{
+    std::shared_ptr<Task> task;
+    TaskCallback cb;
+
+    /** Locks currently held (empty if none). */
+    std::vector<LockRequest> held_locks;
+
+    /** Host-agent slot held across an async data copy. */
+    HostAgent *held_agent = nullptr;
+
+    /** Per-datastore provisioning slot held. */
+    ServiceCenter *held_ds_slot = nullptr;
+
+    /** Host resources committed and not yet owned by a power state. */
+    HostId committed_host;
+    int committed_vcpus = 0;
+    Bytes committed_memory = 0;
+
+    /** Provisional VM records to destroy if the task fails. */
+    std::vector<VmId> created_vms;
+
+    /** Raw datastore reservation to undo if the task fails. */
+    DatastoreId reserved_ds;
+    Bytes reserved_bytes = 0;
+};
+
+ManagementServer::ManagementServer(Simulator &sim_, Inventory &inventory,
+                                   Network &network, StatRegistry &stats_,
+                                   const ManagementServerConfig &cfg_)
+    : sim(sim_), inv(inventory), net(network), stats(stats_), cfg(cfg_),
+      costs(cfg_.costs, sim_.rng().fork()),
+      api(sim_, "api", cfg_.api_threads),
+      sched(sim_, cfg_.policy, cfg_.dispatch_width),
+      db(sim_, inventory, costs, cfg_.db),
+      locks(sim_),
+      limiter(sim_, cfg_.rate_limit)
+{
+    if (cfg.datastore_slots < 1)
+        fatal("ManagementServer: datastore_slots must be >= 1");
+    if (cfg.background_db_period > 0) {
+        if (cfg.background_db_txns < 1)
+            fatal("ManagementServer: background_db_txns must be >= 1");
+        sim.schedule(cfg.background_db_period,
+                     [this] { backgroundDbTick(); });
+    }
+}
+
+void
+ManagementServer::backgroundDbTick()
+{
+    db.runTxns(cfg.background_db_txns, [this] {
+        stats.counter("cp.db.background_txns")
+            .inc(static_cast<std::uint64_t>(cfg.background_db_txns));
+    });
+    sim.schedule(cfg.background_db_period,
+                 [this] { backgroundDbTick(); });
+}
+
+bool
+ManagementServer::cancel(TaskId id)
+{
+    auto it = tasks.find(id);
+    if (it == tasks.end() || it->second->finished())
+        return false;
+    it->second->requestCancel();
+    return true;
+}
+
+HostAgent &
+ManagementServer::hostAgent(HostId h)
+{
+    auto it = agents.find(h);
+    if (it == agents.end()) {
+        it = agents
+                 .emplace(h, std::make_unique<HostAgent>(sim, h,
+                                                         cfg.agent))
+                 .first;
+    }
+    return *it->second;
+}
+
+ServiceCenter &
+ManagementServer::datastoreSlots(DatastoreId d)
+{
+    auto it = ds_slots.find(d);
+    if (it == ds_slots.end()) {
+        it = ds_slots
+                 .emplace(d, std::make_unique<ServiceCenter>(
+                                 sim,
+                                 "ds-slots:" + std::to_string(d.value),
+                                 cfg.datastore_slots))
+                 .first;
+    }
+    return *it->second;
+}
+
+const Task &
+ManagementServer::task(TaskId id) const
+{
+    auto it = tasks.find(id);
+    if (it == tasks.end())
+        panic("ManagementServer: no such task %lld",
+              static_cast<long long>(id.value));
+    return *it->second;
+}
+
+Histogram &
+ManagementServer::latencyHistogram(OpType t)
+{
+    return stats.histogram(
+        std::string("cp.latency_us.") + opTypeName(t),
+        /*min_value=*/100.0, /*growth=*/1.2);
+}
+
+TaskId
+ManagementServer::submit(const OpRequest &req, TaskCallback on_done)
+{
+    TaskId id(next_task_id++);
+    auto task_ptr = std::make_shared<Task>(id, req);
+    tasks.emplace(id, task_ptr);
+    task_ptr->markSubmitted(sim.now());
+    ++submitted_ops;
+    stats.counter("cp.ops.submitted").inc();
+
+    auto ctx = std::make_shared<OpCtx>();
+    ctx->task = task_ptr;
+    ctx->cb = std::move(on_done);
+
+    // Per-tenant admission control happens before any server
+    // resource is consumed.
+    if (!limiter.tryAdmit(req.tenant)) {
+        // Finish synchronously-on-next-event so callers observe a
+        // consistent asynchronous contract.
+        sim.schedule(0, [this, ctx]() {
+            Task &t = *ctx->task;
+            t.markStarted(sim.now());
+            t.markFinished(sim.now(), TaskError::RateLimited);
+            ++failed_ops;
+            stats.counter("cp.ops.failed").inc();
+            stats.counter("cp.errors.rate-limited").inc();
+            if (task_observer)
+                task_observer(t);
+            if (ctx->cb)
+                ctx->cb(t);
+            if (!cfg.retain_finished_tasks)
+                tasks.erase(t.id());
+        });
+        return id;
+    }
+
+    SimTime api_start = sim.now();
+    api.submit(costs.sampleApi(req.type), [this, ctx, api_start]() {
+        ctx->task->addPhaseTime(TaskPhase::Api, sim.now() - api_start);
+        sched.enqueue(ctx->task, [this, ctx]() {
+            ctx->task->markStarted(sim.now());
+            if (ctx->task->cancelRequested()) {
+                finish(ctx, TaskError::Cancelled);
+                return;
+            }
+            runTask(ctx);
+        });
+    });
+    return id;
+}
+
+void
+ManagementServer::finish(const CtxPtr &ctx, TaskError err)
+{
+    // Release held execution resources (order: agent, then slot —
+    // the reverse of acquisition).
+    if (ctx->held_agent) {
+        ctx->held_agent->release();
+        ctx->held_agent = nullptr;
+    }
+    if (ctx->held_ds_slot) {
+        ctx->held_ds_slot->release();
+        ctx->held_ds_slot = nullptr;
+    }
+
+    if (err != TaskError::None) {
+        // Roll back provisional state.
+        if (ctx->committed_host.valid() && inv.hasHost(ctx->committed_host)) {
+            inv.host(ctx->committed_host)
+                .release(ctx->committed_vcpus, ctx->committed_memory);
+        }
+        if (ctx->reserved_ds.valid() && ctx->reserved_bytes > 0)
+            inv.datastore(ctx->reserved_ds).release(ctx->reserved_bytes);
+        for (VmId v : ctx->created_vms) {
+            if (!inv.hasVm(v))
+                continue;
+            Vm &vm = inv.vm(v);
+            if (vm.host.valid()) {
+                if (inv.hasHost(vm.host))
+                    inv.host(vm.host).unregisterVm(v);
+                vm.host = HostId();
+            }
+            vm.forcePowerState(PowerState::PoweredOff);
+            if (!inv.destroyVm(v))
+                panic("ManagementServer: rollback destroy failed");
+        }
+    }
+    ctx->committed_host = HostId();
+    ctx->reserved_bytes = 0;
+    ctx->created_vms.clear();
+
+    if (!ctx->held_locks.empty()) {
+        locks.releaseAll(ctx->held_locks);
+        ctx->held_locks.clear();
+    }
+
+    Task &t = *ctx->task;
+    t.markFinished(sim.now(), err);
+
+    const char *op_name = opTypeName(t.type());
+    if (err == TaskError::None) {
+        ++completed_ops;
+        stats.counter("cp.ops.completed").inc();
+    } else {
+        ++failed_ops;
+        stats.counter("cp.ops.failed").inc();
+        stats.counter(std::string("cp.errors.") + taskErrorName(err))
+            .inc();
+    }
+    stats.counter(std::string("cp.ops.") + op_name + ".total").inc();
+    latencyHistogram(t.type())
+        .add(static_cast<double>(t.latency()));
+    for (std::size_t p = 0; p < kNumTaskPhases; ++p) {
+        TaskPhase phase = static_cast<TaskPhase>(p);
+        SimDuration d = t.phaseTime(phase);
+        stats
+            .summary(std::string("cp.phase_us.") + op_name + "." +
+                     taskPhaseName(phase))
+            .add(static_cast<double>(d));
+    }
+
+    sched.onTaskDone();
+    if (task_observer)
+        task_observer(t);
+    if (ctx->cb)
+        ctx->cb(t);
+    if (!cfg.retain_finished_tasks)
+        tasks.erase(t.id());
+}
+
+void
+ManagementServer::acquireLocks(const CtxPtr &ctx,
+                               std::vector<LockRequest> reqs,
+                               std::function<void()> then)
+{
+    SimTime start = sim.now();
+    locks.acquireAll(reqs, [this, ctx, reqs, start,
+                            then = std::move(then)]() {
+        ctx->held_locks = reqs;
+        ctx->task->addPhaseTime(TaskPhase::Locks, sim.now() - start);
+        then();
+    });
+}
+
+void
+ManagementServer::runDbPhase(const CtxPtr &ctx, int txns,
+                             TaskPhase phase,
+                             std::function<void()> then)
+{
+    SimTime start = sim.now();
+    db.runTxns(txns, [this, ctx, phase, start,
+                      then = std::move(then)]() {
+        ctx->task->addPhaseTime(phase, sim.now() - start);
+        then();
+    });
+}
+
+void
+ManagementServer::runAgentPhase(const CtxPtr &ctx, HostId host,
+                                std::function<void()> then)
+{
+    SimTime start = sim.now();
+    SimDuration service = costs.sampleHost(ctx->task->type());
+    hostAgent(host).execute(
+        service, [this, ctx, start, then = std::move(then)]() {
+            ctx->task->addPhaseTime(TaskPhase::HostAgent,
+                                    sim.now() - start);
+            then();
+        });
+}
+
+void
+ManagementServer::runAgentDataPhase(const CtxPtr &ctx, HostId host,
+                                    DatastoreId slot_ds,
+                                    DatastoreId src_ds,
+                                    DatastoreId dst_ds, Bytes bytes,
+                                    std::function<void()> then)
+{
+    SimTime t0 = sim.now();
+    ServiceCenter &slot = datastoreSlots(slot_ds);
+    slot.acquire([this, ctx, host, slot_ds, src_ds, dst_ds, bytes, t0,
+                  then = std::move(then)]() mutable {
+        ctx->held_ds_slot = &datastoreSlots(slot_ds);
+        hostAgent(host).acquireSlot([this, ctx, host, src_ds, dst_ds,
+                                     bytes, t0,
+                                     then = std::move(then)]() mutable {
+            ctx->held_agent = &hostAgent(host);
+            SimDuration setup = costs.sampleHost(ctx->task->type());
+            sim.schedule(setup, [this, ctx, src_ds, dst_ds, bytes, t0,
+                                 then = std::move(then)]() mutable {
+                ctx->task->addPhaseTime(TaskPhase::HostAgent,
+                                        sim.now() - t0);
+                if (bytes <= 0) {
+                    ctx->held_agent->release();
+                    ctx->held_agent = nullptr;
+                    ctx->held_ds_slot->release();
+                    ctx->held_ds_slot = nullptr;
+                    then();
+                    return;
+                }
+                SimTime c0 = sim.now();
+                SharedBandwidthResource &pipe =
+                    (src_ds == dst_ds)
+                        ? inv.datastore(dst_ds).copyPipe()
+                        : net.fabric();
+                pipe.startTransfer(
+                    bytes,
+                    [this, ctx, bytes, c0,
+                     then = std::move(then)]() mutable {
+                        ctx->task->addPhaseTime(TaskPhase::DataCopy,
+                                                sim.now() - c0);
+                        bytes_moved += bytes;
+                        stats.counter("cp.bytes_moved")
+                            .inc(static_cast<std::uint64_t>(bytes));
+                        ctx->held_agent->release();
+                        ctx->held_agent = nullptr;
+                        ctx->held_ds_slot->release();
+                        ctx->held_ds_slot = nullptr;
+                        then();
+                    });
+            });
+        });
+    });
+}
+
+void
+ManagementServer::runTask(const CtxPtr &ctx)
+{
+    switch (ctx->task->type()) {
+      case OpType::PowerOn:
+      case OpType::PowerOff:
+      case OpType::Suspend:
+      case OpType::Reset:
+        execPower(ctx);
+        return;
+      case OpType::CreateVm:
+        execCreateVm(ctx);
+        return;
+      case OpType::CloneFull:
+      case OpType::CloneLinked:
+        execClone(ctx);
+        return;
+      case OpType::Destroy:
+        execDestroy(ctx);
+        return;
+      case OpType::RegisterVm:
+      case OpType::UnregisterVm:
+        execRegister(ctx);
+        return;
+      case OpType::Reconfigure:
+        execReconfigure(ctx);
+        return;
+      case OpType::Snapshot:
+        execSnapshot(ctx);
+        return;
+      case OpType::RemoveSnapshot:
+        execRemoveSnapshot(ctx);
+        return;
+      case OpType::Relocate:
+        execRelocate(ctx);
+        return;
+      case OpType::Migrate:
+        execMigrate(ctx);
+        return;
+      case OpType::AddHost:
+      case OpType::RemoveHost:
+      case OpType::EnterMaintenance:
+      case OpType::ExitMaintenance:
+        execHostLifecycle(ctx);
+        return;
+      case OpType::ReplicateBaseDisk:
+        execReplicateBaseDisk(ctx);
+        return;
+      case OpType::ConsolidateDisk:
+        execConsolidateDisk(ctx);
+        return;
+      case OpType::NumOpTypes:
+        break;
+    }
+    panic("ManagementServer: unhandled op type");
+}
+
+/*
+ * Power verbs: exclusive VM lock + shared host lock; PowerOn commits
+ * host resources before the host agent runs (admission control).
+ */
+void
+ManagementServer::execPower(const CtxPtr &ctx)
+{
+    const OpRequest &req = ctx->task->request();
+    OpType t = req.type;
+
+    if (!inv.hasVm(req.vm)) {
+        finish(ctx, TaskError::NoSuchEntity);
+        return;
+    }
+    {
+        Vm &vm = inv.vm(req.vm);
+        if (!vm.host.valid() || vm.is_template) {
+            finish(ctx, TaskError::InvalidState);
+            return;
+        }
+        Host &host = inv.host(vm.host);
+        if (!host.connected() ||
+            (t == OpType::PowerOn && host.inMaintenance())) {
+            finish(ctx, TaskError::HostUnavailable);
+            return;
+        }
+    }
+
+    VmId vm_id = req.vm;
+    HostId host_id = inv.vm(vm_id).host;
+    acquireLocks(
+        ctx,
+        {{lockKey(vm_id), LockMode::Exclusive},
+         {lockKey(host_id), LockMode::Shared}},
+        [this, ctx, t, vm_id, host_id]() {
+            // Re-validate: the VM may have been destroyed, moved to
+            // another host (a migrate beat us to the lock), or
+            // changed power state while we waited.  Acting on a
+            // stale host id would release the commitment on the
+            // wrong host.
+            if (!inv.hasVm(vm_id)) {
+                finish(ctx, TaskError::NoSuchEntity);
+                return;
+            }
+            Vm &vm = inv.vm(vm_id);
+            if (vm.host != host_id) {
+                finish(ctx, TaskError::InvalidState);
+                return;
+            }
+            PowerState target = (t == OpType::PowerOn)
+                ? PowerState::PoweringOn
+                : (t == OpType::PowerOff) ? PowerState::PoweringOff
+                : (t == OpType::Suspend) ? PowerState::Suspended
+                : PowerState::PoweredOn /* Reset: stays on */;
+
+            if (t == OpType::Reset) {
+                if (vm.powerState() != PowerState::PoweredOn) {
+                    finish(ctx, TaskError::InvalidState);
+                    return;
+                }
+            } else if (!vm.canTransitionTo(target)) {
+                finish(ctx, TaskError::InvalidState);
+                return;
+            }
+
+            if (t == OpType::PowerOn) {
+                Host &host = inv.host(host_id);
+                if (!host.commit(vm.vcpus, vm.memory)) {
+                    finish(ctx, TaskError::PlacementFailed);
+                    return;
+                }
+                ctx->committed_host = host_id;
+                ctx->committed_vcpus = vm.vcpus;
+                ctx->committed_memory = vm.memory;
+                vm.transitionTo(PowerState::PoweringOn);
+            } else if (t == OpType::PowerOff) {
+                vm.transitionTo(PowerState::PoweringOff);
+            }
+
+            runDbPhase(ctx, costs.dbTxns(t), TaskPhase::Db,
+                       [this, ctx, t, vm_id, host_id]() {
+                runAgentPhase(ctx, host_id, [this, ctx, t, vm_id,
+                                             host_id]() {
+                    Vm &vm = inv.vm(vm_id);
+                    switch (t) {
+                      case OpType::PowerOn:
+                        vm.transitionTo(PowerState::PoweredOn);
+                        // Commit now belongs to the power state.
+                        ctx->committed_host = HostId();
+                        break;
+                      case OpType::PowerOff:
+                        // A host crash may have forced the VM off
+                        // (and released its commitment) already; the
+                        // failed transition tells us not to
+                        // double-release.
+                        if (vm.transitionTo(PowerState::PoweredOff)) {
+                            inv.host(host_id).release(vm.vcpus,
+                                                      vm.memory);
+                        }
+                        break;
+                      case OpType::Suspend:
+                        if (vm.transitionTo(PowerState::Suspended)) {
+                            inv.host(host_id).release(vm.vcpus,
+                                                      vm.memory);
+                        }
+                        break;
+                      default:
+                        break; // Reset: no state change
+                    }
+                    runDbPhase(ctx, costs.finalizeTxns(t),
+                               TaskPhase::Finalize, [this, ctx]() {
+                        finish(ctx, TaskError::None);
+                    });
+                });
+            });
+        });
+}
+
+/*
+ * CreateVm: from-scratch creation with a flat disk; shared host and
+ * datastore locks; the record is provisional until the task succeeds.
+ */
+void
+ManagementServer::execCreateVm(const CtxPtr &ctx)
+{
+    const OpRequest &req = ctx->task->request();
+    if (!inv.hasHost(req.host)) {
+        finish(ctx, TaskError::NoSuchEntity);
+        return;
+    }
+    {
+        Host &host = inv.host(req.host);
+        if (!host.connected() || host.inMaintenance()) {
+            finish(ctx, TaskError::HostUnavailable);
+            return;
+        }
+        if (!host.hasDatastore(req.datastore)) {
+            finish(ctx, TaskError::BadRequest);
+            return;
+        }
+    }
+
+    acquireLocks(
+        ctx,
+        {{lockKey(req.host), LockMode::Shared},
+         {lockKey(req.datastore), LockMode::Shared}},
+        [this, ctx]() {
+            const OpRequest &req = ctx->task->request();
+            runDbPhase(ctx, costs.dbTxns(req.type), TaskPhase::Db,
+                       [this, ctx]() {
+                const OpRequest &req = ctx->task->request();
+                VmConfig vc;
+                vc.name = req.name;
+                vc.vcpus = req.vcpus;
+                vc.memory = req.memory;
+                vc.tenant = req.tenant;
+                VmId vm_id = inv.createVm(vc);
+                ctx->created_vms.push_back(vm_id);
+
+                DiskConfig dc;
+                dc.kind = DiskKind::Flat;
+                dc.datastore = req.datastore;
+                dc.capacity = req.disk_size;
+                dc.owner = vm_id;
+                DiskId disk = inv.createDisk(dc);
+                if (!disk.valid()) {
+                    finish(ctx, TaskError::OutOfSpace);
+                    return;
+                }
+                Vm &vm = inv.vm(vm_id);
+                vm.disks.push_back(disk);
+                vm.host = req.host;
+                inv.host(req.host).registerVm(vm_id);
+                ctx->task->setResultVm(vm_id);
+
+                runAgentPhase(ctx, req.host, [this, ctx]() {
+                    const OpRequest &req = ctx->task->request();
+                    runDbPhase(ctx, costs.finalizeTxns(req.type),
+                               TaskPhase::Finalize, [this, ctx]() {
+                        // Success: the records are permanent.
+                        ctx->created_vms.clear();
+                        finish(ctx, TaskError::None);
+                    });
+                });
+            });
+        });
+}
+
+/*
+ * CloneFull / CloneLinked: the paper's pivotal pair.  Both create a
+ * provisional VM record and register it; a full clone then pushes the
+ * source disks' allocated bytes through the storage (or network)
+ * pipe, while a linked clone creates only a delta disk backed by a
+ * prepared base disk — no bulk data at all.
+ */
+void
+ManagementServer::execClone(const CtxPtr &ctx)
+{
+    const OpRequest &req = ctx->task->request();
+    OpType t = req.type;
+
+    if (!inv.hasVm(req.vm) || !inv.hasHost(req.host)) {
+        finish(ctx, TaskError::NoSuchEntity);
+        return;
+    }
+    {
+        Host &host = inv.host(req.host);
+        if (!host.connected() || host.inMaintenance()) {
+            finish(ctx, TaskError::HostUnavailable);
+            return;
+        }
+        if (!host.hasDatastore(req.datastore)) {
+            finish(ctx, TaskError::BadRequest);
+            return;
+        }
+    }
+    if (t == OpType::CloneLinked) {
+        if (!req.base_disk.valid() || !inv.hasDisk(req.base_disk)) {
+            finish(ctx, TaskError::BadRequest);
+            return;
+        }
+        const VirtualDisk &base = inv.disk(req.base_disk);
+        if (base.kind != DiskKind::Flat ||
+            base.datastore != req.datastore) {
+            finish(ctx, TaskError::BadRequest);
+            return;
+        }
+    }
+
+    std::vector<LockRequest> lock_reqs = {
+        {lockKey(req.vm), LockMode::Shared},
+        {lockKey(req.host), LockMode::Shared},
+        {lockKey(req.datastore), LockMode::Shared},
+    };
+    if (t == OpType::CloneLinked)
+        lock_reqs.push_back({lockKey(req.base_disk), LockMode::Shared});
+
+    acquireLocks(ctx, std::move(lock_reqs), [this, ctx, t]() {
+        // The source (and base) may have been destroyed while we
+        // waited; once the shared locks are held they are safe.
+        const OpRequest &req0 = ctx->task->request();
+        if (!inv.hasVm(req0.vm) ||
+            (t == OpType::CloneLinked &&
+             !inv.hasDisk(req0.base_disk))) {
+            finish(ctx, TaskError::NoSuchEntity);
+            return;
+        }
+        runDbPhase(ctx, costs.dbTxns(t), TaskPhase::Db,
+                   [this, ctx, t]() {
+            const OpRequest &req = ctx->task->request();
+            const Vm &src = inv.vm(req.vm);
+
+            // Shape is inherited from the source.
+            VmConfig vc;
+            vc.name = req.name;
+            vc.vcpus = src.vcpus;
+            vc.memory = src.memory;
+            vc.tenant = req.tenant;
+            VmId vm_id = inv.createVm(vc);
+            ctx->created_vms.push_back(vm_id);
+
+            Bytes copy_bytes = 0;
+            DatastoreId src_ds = req.datastore;
+            DiskId new_disk;
+            if (t == OpType::CloneFull) {
+                Bytes total_cap = 0;
+                for (DiskId d : src.disks) {
+                    const VirtualDisk &sd = inv.disk(d);
+                    total_cap += sd.capacity;
+                    copy_bytes += sd.allocated;
+                    src_ds = sd.datastore;
+                }
+                if (src.disks.empty()) {
+                    total_cap = req.disk_size;
+                    copy_bytes = req.disk_size;
+                }
+                DiskConfig dc;
+                dc.kind = DiskKind::Flat;
+                dc.datastore = req.datastore;
+                dc.capacity = total_cap;
+                dc.owner = vm_id;
+                new_disk = inv.createDisk(dc);
+            } else {
+                const VirtualDisk &base = inv.disk(req.base_disk);
+                DiskConfig dc;
+                dc.kind = DiskKind::LinkedCloneDelta;
+                dc.datastore = req.datastore;
+                dc.capacity = base.capacity;
+                dc.initial_allocation =
+                    costs.linkedDeltaAllocation(base.capacity);
+                dc.parent = req.base_disk;
+                dc.owner = vm_id;
+                new_disk = inv.createDisk(dc);
+            }
+            if (!new_disk.valid()) {
+                finish(ctx, TaskError::OutOfSpace);
+                return;
+            }
+            Vm &vm = inv.vm(vm_id);
+            vm.disks.push_back(new_disk);
+            vm.host = req.host;
+            inv.host(req.host).registerVm(vm_id);
+            ctx->task->setResultVm(vm_id);
+
+            runAgentDataPhase(
+                ctx, req.host, req.datastore, src_ds, req.datastore,
+                copy_bytes, [this, ctx, t]() {
+                    runDbPhase(ctx, costs.finalizeTxns(t),
+                               TaskPhase::Finalize, [this, ctx]() {
+                        ctx->created_vms.clear();
+                        finish(ctx, TaskError::None);
+                    });
+                });
+        });
+    });
+}
+
+/*
+ * Destroy: exclusive VM lock; the VM must be powered off and its
+ * disks must not back any linked clones.
+ */
+void
+ManagementServer::execDestroy(const CtxPtr &ctx)
+{
+    const OpRequest &req = ctx->task->request();
+    if (!inv.hasVm(req.vm)) {
+        finish(ctx, TaskError::NoSuchEntity);
+        return;
+    }
+    VmId vm_id = req.vm;
+    HostId host_id = inv.vm(vm_id).host;
+
+    // Lock the VM's disks exclusively too: replication and
+    // consolidation hold shared disk locks, and deleting a disk out
+    // from under them would corrupt their copies.
+    std::vector<DiskId> disk_set = inv.vm(vm_id).disks;
+    std::vector<LockRequest> lock_reqs = {
+        {lockKey(vm_id), LockMode::Exclusive}};
+    if (host_id.valid())
+        lock_reqs.push_back({lockKey(host_id), LockMode::Shared});
+    for (DiskId d : disk_set)
+        lock_reqs.push_back({lockKey(d), LockMode::Exclusive});
+
+    acquireLocks(ctx, std::move(lock_reqs), [this, ctx, vm_id,
+                                             host_id, disk_set]() {
+        // The VM (or its disk list) may have changed while waiting;
+        // the lock set would no longer match, so bail out.
+        if (!inv.hasVm(vm_id)) {
+            finish(ctx, TaskError::NoSuchEntity);
+            return;
+        }
+        Vm &vm = inv.vm(vm_id);
+        if (vm.disks != disk_set || vm.host != host_id) {
+            finish(ctx, TaskError::InvalidState);
+            return;
+        }
+        if (vm.powerState() != PowerState::PoweredOff) {
+            finish(ctx, TaskError::InvalidState);
+            return;
+        }
+        // References from the VM's own snapshot chain are fine (the
+        // destroy tears the chain down); only external linked-clone
+        // children block it.
+        for (DiskId d : vm.disks) {
+            int refs_within_vm = 0;
+            for (DiskId other : vm.disks) {
+                if (inv.disk(other).parent == d)
+                    ++refs_within_vm;
+            }
+            if (inv.disk(d).ref_count > refs_within_vm) {
+                finish(ctx, TaskError::InvalidState);
+                return;
+            }
+        }
+        OpType t = ctx->task->type();
+        runDbPhase(ctx, costs.dbTxns(t), TaskPhase::Db,
+                   [this, ctx, t, vm_id, host_id]() {
+            auto destroy_records = [this, ctx, t, vm_id, host_id]() {
+                Vm &vm = inv.vm(vm_id);
+                if (host_id.valid()) {
+                    inv.host(host_id).unregisterVm(vm_id);
+                    vm.host = HostId();
+                }
+                if (!inv.destroyVm(vm_id)) {
+                    finish(ctx, TaskError::InvalidState);
+                    return;
+                }
+                runDbPhase(ctx, costs.finalizeTxns(t),
+                           TaskPhase::Finalize, [this, ctx]() {
+                    finish(ctx, TaskError::None);
+                });
+            };
+            if (host_id.valid()) {
+                runAgentPhase(ctx, host_id, destroy_records);
+            } else {
+                destroy_records();
+            }
+        });
+    });
+}
+
+/*
+ * RegisterVm / UnregisterVm: light record operations.
+ */
+void
+ManagementServer::execRegister(const CtxPtr &ctx)
+{
+    const OpRequest &req = ctx->task->request();
+    OpType t = req.type;
+    if (!inv.hasVm(req.vm)) {
+        finish(ctx, TaskError::NoSuchEntity);
+        return;
+    }
+
+    if (t == OpType::RegisterVm) {
+        if (!inv.hasHost(req.host)) {
+            finish(ctx, TaskError::NoSuchEntity);
+            return;
+        }
+        Host &host = inv.host(req.host);
+        if (!host.connected() || host.inMaintenance()) {
+            finish(ctx, TaskError::HostUnavailable);
+            return;
+        }
+    }
+
+    VmId vm_id = req.vm;
+    HostId host_id = (t == OpType::RegisterVm) ? req.host
+                                               : inv.vm(vm_id).host;
+    std::vector<LockRequest> lock_reqs = {
+        {lockKey(vm_id), LockMode::Exclusive}};
+    if (host_id.valid())
+        lock_reqs.push_back({lockKey(host_id), LockMode::Shared});
+
+    acquireLocks(ctx, std::move(lock_reqs), [this, ctx, t, vm_id,
+                                             host_id]() {
+        if (!inv.hasVm(vm_id)) {
+            finish(ctx, TaskError::NoSuchEntity);
+            return;
+        }
+        Vm &vm = inv.vm(vm_id);
+        if (t == OpType::RegisterVm) {
+            if (vm.host.valid()) {
+                finish(ctx, TaskError::InvalidState);
+                return;
+            }
+        } else {
+            if (vm.host != host_id ||
+                vm.powerState() != PowerState::PoweredOff) {
+                finish(ctx, TaskError::InvalidState);
+                return;
+            }
+        }
+        runDbPhase(ctx, costs.dbTxns(t), TaskPhase::Db,
+                   [this, ctx, t, vm_id, host_id]() {
+            auto apply = [this, ctx, t, vm_id, host_id]() {
+                Vm &vm = inv.vm(vm_id);
+                if (t == OpType::RegisterVm) {
+                    vm.host = host_id;
+                    inv.host(host_id).registerVm(vm_id);
+                } else {
+                    inv.host(vm.host).unregisterVm(vm_id);
+                    vm.host = HostId();
+                }
+                runDbPhase(ctx, costs.finalizeTxns(t),
+                           TaskPhase::Finalize, [this, ctx]() {
+                    finish(ctx, TaskError::None);
+                });
+            };
+            if (host_id.valid()) {
+                runAgentPhase(ctx, host_id, apply);
+            } else {
+                apply();
+            }
+        });
+    });
+}
+
+/*
+ * Reconfigure: change a VM's shape.  A powered-on VM re-passes host
+ * admission with its new shape.
+ */
+void
+ManagementServer::execReconfigure(const CtxPtr &ctx)
+{
+    const OpRequest &req = ctx->task->request();
+    if (!inv.hasVm(req.vm)) {
+        finish(ctx, TaskError::NoSuchEntity);
+        return;
+    }
+    VmId vm_id = req.vm;
+    HostId host_id = inv.vm(vm_id).host;
+
+    std::vector<LockRequest> lock_reqs = {
+        {lockKey(vm_id), LockMode::Exclusive}};
+    if (host_id.valid())
+        lock_reqs.push_back({lockKey(host_id), LockMode::Shared});
+
+    acquireLocks(ctx, std::move(lock_reqs), [this, ctx, vm_id,
+                                             host_id]() {
+        if (!inv.hasVm(vm_id)) {
+            finish(ctx, TaskError::NoSuchEntity);
+            return;
+        }
+        if (inv.vm(vm_id).host != host_id) {
+            // Moved (or [un]registered) while we waited; the locked
+            // host no longer matches.
+            finish(ctx, TaskError::InvalidState);
+            return;
+        }
+        OpType t = ctx->task->type();
+        runDbPhase(ctx, costs.dbTxns(t), TaskPhase::Db,
+                   [this, ctx, t, vm_id, host_id]() {
+            auto apply = [this, ctx, t, vm_id, host_id]() {
+                const OpRequest &req = ctx->task->request();
+                Vm &vm = inv.vm(vm_id);
+                if (vm.powerState() == PowerState::PoweredOn) {
+                    Host &host = inv.host(host_id);
+                    host.release(vm.vcpus, vm.memory);
+                    if (!host.commit(req.vcpus, req.memory)) {
+                        // Restore the old commitment (always fits).
+                        if (!host.commit(vm.vcpus, vm.memory))
+                            panic("Reconfigure: restore failed");
+                        finish(ctx, TaskError::PlacementFailed);
+                        return;
+                    }
+                }
+                vm.vcpus = req.vcpus;
+                vm.memory = req.memory;
+                runDbPhase(ctx, costs.finalizeTxns(t),
+                           TaskPhase::Finalize, [this, ctx]() {
+                    finish(ctx, TaskError::None);
+                });
+            };
+            if (host_id.valid()) {
+                runAgentPhase(ctx, host_id, apply);
+            } else {
+                apply();
+            }
+        });
+    });
+}
+
+/*
+ * Snapshot: appends a copy-on-write delta to the VM's disk chain.
+ */
+void
+ManagementServer::execSnapshot(const CtxPtr &ctx)
+{
+    const OpRequest &req = ctx->task->request();
+    if (!inv.hasVm(req.vm)) {
+        finish(ctx, TaskError::NoSuchEntity);
+        return;
+    }
+    VmId vm_id = req.vm;
+    HostId host_id = inv.vm(vm_id).host;
+    if (!host_id.valid() || inv.vm(vm_id).disks.empty()) {
+        finish(ctx, TaskError::InvalidState);
+        return;
+    }
+
+    acquireLocks(
+        ctx,
+        {{lockKey(vm_id), LockMode::Exclusive},
+         {lockKey(host_id), LockMode::Shared}},
+        [this, ctx, vm_id, host_id]() {
+            if (!inv.hasVm(vm_id) || inv.vm(vm_id).disks.empty()) {
+                finish(ctx, TaskError::NoSuchEntity);
+                return;
+            }
+            if (inv.vm(vm_id).host != host_id) {
+                finish(ctx, TaskError::InvalidState);
+                return;
+            }
+            OpType t = ctx->task->type();
+            runDbPhase(ctx, costs.dbTxns(t), TaskPhase::Db,
+                       [this, ctx, t, vm_id, host_id]() {
+                runAgentPhase(ctx, host_id, [this, ctx, t, vm_id]() {
+                    Vm &vm = inv.vm(vm_id);
+                    DiskId tip = vm.disks.back();
+                    const VirtualDisk &tip_disk = inv.disk(tip);
+                    DiskConfig dc;
+                    dc.kind = DiskKind::SnapshotDelta;
+                    dc.datastore = tip_disk.datastore;
+                    dc.capacity = tip_disk.capacity;
+                    dc.initial_allocation =
+                        costs.linkedDeltaAllocation(tip_disk.capacity);
+                    dc.parent = tip;
+                    dc.owner = vm_id;
+                    DiskId delta = inv.createDisk(dc);
+                    if (!delta.valid()) {
+                        finish(ctx, TaskError::OutOfSpace);
+                        return;
+                    }
+                    vm.disks.push_back(delta);
+                    runDbPhase(ctx, costs.finalizeTxns(t),
+                               TaskPhase::Finalize, [this, ctx]() {
+                        finish(ctx, TaskError::None);
+                    });
+                });
+            });
+        });
+}
+
+/*
+ * RemoveSnapshot: consolidates the newest snapshot delta back into
+ * its parent (a data-moving operation on the datastore pipe).
+ */
+void
+ManagementServer::execRemoveSnapshot(const CtxPtr &ctx)
+{
+    const OpRequest &req = ctx->task->request();
+    if (!inv.hasVm(req.vm)) {
+        finish(ctx, TaskError::NoSuchEntity);
+        return;
+    }
+    VmId vm_id = req.vm;
+    HostId host_id = inv.vm(vm_id).host;
+    if (!host_id.valid()) {
+        finish(ctx, TaskError::InvalidState);
+        return;
+    }
+    if (inv.vm(vm_id).disks.empty()) {
+        finish(ctx, TaskError::InvalidState);
+        return;
+    }
+    // Lock the delta being consolidated too, so concurrent disk
+    // operations (consolidate) cannot race its destruction.
+    DiskId tip = inv.vm(vm_id).disks.back();
+
+    acquireLocks(
+        ctx,
+        {{lockKey(vm_id), LockMode::Exclusive},
+         {lockKey(host_id), LockMode::Shared},
+         {lockKey(tip), LockMode::Exclusive}},
+        [this, ctx, vm_id, host_id, tip]() {
+            // The chain may have changed while waiting; the locked
+            // tip must still be the newest disk.
+            if (!inv.hasVm(vm_id)) {
+                finish(ctx, TaskError::NoSuchEntity);
+                return;
+            }
+            Vm &vm = inv.vm(vm_id);
+            if (vm.host != host_id) {
+                finish(ctx, TaskError::InvalidState);
+                return;
+            }
+            if (vm.disks.empty() || vm.disks.back() != tip ||
+                inv.disk(vm.disks.back()).kind !=
+                    DiskKind::SnapshotDelta ||
+                inv.disk(vm.disks.back()).ref_count > 0) {
+                finish(ctx, TaskError::InvalidState);
+                return;
+            }
+            DiskId delta = vm.disks.back();
+            const VirtualDisk &dd = inv.disk(delta);
+            DatastoreId ds = dd.datastore;
+            Bytes bytes = dd.allocated;
+            OpType t = ctx->task->type();
+            runDbPhase(ctx, costs.dbTxns(t), TaskPhase::Db,
+                       [this, ctx, t, vm_id, host_id, delta, ds,
+                        bytes]() {
+                runAgentDataPhase(
+                    ctx, host_id, ds, ds, ds, bytes,
+                    [this, ctx, t, vm_id, delta]() {
+                        Vm &vm = inv.vm(vm_id);
+                        vm.disks.pop_back();
+                        if (!inv.destroyDisk(delta))
+                            panic("RemoveSnapshot: destroy failed");
+                        runDbPhase(ctx, costs.finalizeTxns(t),
+                                   TaskPhase::Finalize,
+                                   [this, ctx]() {
+                            finish(ctx, TaskError::None);
+                        });
+                    });
+            });
+        });
+}
+
+/*
+ * Relocate: cold-migrate a powered-off VM's storage to another
+ * datastore.  Linked-clone VMs must be consolidated first (their
+ * delta depends on a base disk that stays behind).
+ */
+void
+ManagementServer::execRelocate(const CtxPtr &ctx)
+{
+    const OpRequest &req = ctx->task->request();
+    if (!inv.hasVm(req.vm)) {
+        finish(ctx, TaskError::NoSuchEntity);
+        return;
+    }
+    VmId vm_id = req.vm;
+    Vm &vm0 = inv.vm(vm_id);
+    HostId host_id = vm0.host;
+    if (!host_id.valid() ||
+        vm0.powerState() != PowerState::PoweredOff) {
+        finish(ctx, TaskError::InvalidState);
+        return;
+    }
+    for (DiskId d : vm0.disks) {
+        if (inv.disk(d).isDelta() || inv.disk(d).ref_count > 0) {
+            finish(ctx, TaskError::InvalidState);
+            return;
+        }
+    }
+    if (vm0.disks.empty()) {
+        finish(ctx, TaskError::InvalidState);
+        return;
+    }
+    DatastoreId dst = req.datastore;
+    DatastoreId src = inv.disk(vm0.disks.front()).datastore;
+    if (src == dst) {
+        finish(ctx, TaskError::BadRequest);
+        return;
+    }
+    if (!inv.host(host_id).hasDatastore(dst)) {
+        finish(ctx, TaskError::BadRequest);
+        return;
+    }
+
+    acquireLocks(
+        ctx,
+        {{lockKey(vm_id), LockMode::Exclusive},
+         {lockKey(src), LockMode::Shared},
+         {lockKey(dst), LockMode::Shared}},
+        [this, ctx, vm_id, host_id, src, dst]() {
+            if (!inv.hasVm(vm_id)) {
+                finish(ctx, TaskError::NoSuchEntity);
+                return;
+            }
+            Vm &vm = inv.vm(vm_id);
+            if (vm.host != host_id ||
+                vm.powerState() != PowerState::PoweredOff ||
+                vm.disks.empty() ||
+                inv.disk(vm.disks.front()).datastore != src) {
+                finish(ctx, TaskError::InvalidState);
+                return;
+            }
+            Bytes total = 0;
+            for (DiskId d : vm.disks)
+                total += inv.disk(d).allocated;
+            if (!inv.datastore(dst).reserve(total)) {
+                finish(ctx, TaskError::OutOfSpace);
+                return;
+            }
+            ctx->reserved_ds = dst;
+            ctx->reserved_bytes = total;
+
+            OpType t = ctx->task->type();
+            runDbPhase(ctx, costs.dbTxns(t), TaskPhase::Db,
+                       [this, ctx, t, vm_id, host_id, src, dst,
+                        total]() {
+                runAgentDataPhase(
+                    ctx, host_id, dst, src, dst, total,
+                    [this, ctx, t, vm_id, dst]() {
+                        Vm &vm = inv.vm(vm_id);
+                        for (DiskId did : vm.disks) {
+                            VirtualDisk &d = inv.disk(did);
+                            inv.datastore(d.datastore)
+                                .release(d.allocated);
+                            d.datastore = dst;
+                        }
+                        // The raw reservation is now owned by the
+                        // relocated disk records.
+                        ctx->reserved_bytes = 0;
+                        ctx->reserved_ds = DatastoreId();
+                        runDbPhase(ctx, costs.finalizeTxns(t),
+                                   TaskPhase::Finalize,
+                                   [this, ctx]() {
+                            finish(ctx, TaskError::None);
+                        });
+                    });
+            });
+        });
+}
+
+/*
+ * Migrate: live-migrate a powered-on VM's memory image to another
+ * host over the management network (shared storage stays put).
+ */
+void
+ManagementServer::execMigrate(const CtxPtr &ctx)
+{
+    const OpRequest &req = ctx->task->request();
+    if (!inv.hasVm(req.vm) || !inv.hasHost(req.host)) {
+        finish(ctx, TaskError::NoSuchEntity);
+        return;
+    }
+    VmId vm_id = req.vm;
+    HostId dst = req.host;
+    Vm &vm0 = inv.vm(vm_id);
+    HostId src = vm0.host;
+    if (!src.valid() || src == dst ||
+        vm0.powerState() != PowerState::PoweredOn) {
+        finish(ctx, TaskError::InvalidState);
+        return;
+    }
+    {
+        Host &dhost = inv.host(dst);
+        if (!dhost.connected() || dhost.inMaintenance()) {
+            finish(ctx, TaskError::HostUnavailable);
+            return;
+        }
+        for (DiskId d : vm0.disks) {
+            if (!dhost.hasDatastore(inv.disk(d).datastore)) {
+                finish(ctx, TaskError::BadRequest);
+                return;
+            }
+        }
+    }
+
+    acquireLocks(
+        ctx,
+        {{lockKey(vm_id), LockMode::Exclusive},
+         {lockKey(src), LockMode::Shared},
+         {lockKey(dst), LockMode::Shared}},
+        [this, ctx, vm_id, src, dst]() {
+            if (!inv.hasVm(vm_id)) {
+                finish(ctx, TaskError::NoSuchEntity);
+                return;
+            }
+            Vm &vm = inv.vm(vm_id);
+            if (vm.powerState() != PowerState::PoweredOn ||
+                vm.host != src || vm.disks.empty()) {
+                finish(ctx, TaskError::InvalidState);
+                return;
+            }
+            Host &dhost = inv.host(dst);
+            if (!dhost.commit(vm.vcpus, vm.memory)) {
+                finish(ctx, TaskError::PlacementFailed);
+                return;
+            }
+            ctx->committed_host = dst;
+            ctx->committed_vcpus = vm.vcpus;
+            ctx->committed_memory = vm.memory;
+
+            // Pre-copy overhead: dirty pages are retransmitted.
+            Bytes wire_bytes = static_cast<Bytes>(
+                static_cast<double>(vm.memory) * 1.2);
+
+            OpType t = ctx->task->type();
+            runDbPhase(ctx, costs.dbTxns(t), TaskPhase::Db,
+                       [this, ctx, t, vm_id, src, dst, wire_bytes]() {
+                // Slot accounting on the destination host; the copy
+                // crosses the network fabric (src != dst datastores
+                // trick: pass distinct ids to force the fabric).
+                runAgentDataPhase(
+                    ctx, dst, inv.disk(inv.vm(vm_id).disks.front())
+                                  .datastore,
+                    DatastoreId(-2), DatastoreId(-3), wire_bytes,
+                    [this, ctx, t, vm_id, src, dst]() {
+                        Vm &vm = inv.vm(vm_id);
+                        if (vm.powerState() !=
+                            PowerState::PoweredOn) {
+                            // The VM died mid-migration (source
+                            // host crash); the rollback in finish()
+                            // returns the destination commitment.
+                            finish(ctx, TaskError::InvalidState);
+                            return;
+                        }
+                        inv.host(src).release(vm.vcpus, vm.memory);
+                        inv.host(src).unregisterVm(vm_id);
+                        inv.host(dst).registerVm(vm_id);
+                        vm.host = dst;
+                        // Commitment now owned by the power state.
+                        ctx->committed_host = HostId();
+                        runDbPhase(ctx, costs.finalizeTxns(t),
+                                   TaskPhase::Finalize,
+                                   [this, ctx]() {
+                            finish(ctx, TaskError::None);
+                        });
+                    });
+            });
+        });
+}
+
+/*
+ * Host lifecycle verbs.  AddHost connects a (previously disconnected)
+ * host record and performs the expensive initial sync; maintenance
+ * transitions gate on the host being empty of powered-on VMs —
+ * evacuating them is the cloud layer's job.
+ */
+void
+ManagementServer::execHostLifecycle(const CtxPtr &ctx)
+{
+    const OpRequest &req = ctx->task->request();
+    OpType t = req.type;
+    if (!inv.hasHost(req.host)) {
+        finish(ctx, TaskError::NoSuchEntity);
+        return;
+    }
+    HostId host_id = req.host;
+
+    std::vector<LockRequest> lock_reqs = {
+        {lockKey(host_id), LockMode::Exclusive}};
+    if (t == OpType::AddHost || t == OpType::RemoveHost) {
+        lock_reqs.push_back(
+            {{LockKind::Global, 0}, LockMode::Exclusive});
+    }
+
+    acquireLocks(ctx, std::move(lock_reqs), [this, ctx, t, host_id]() {
+        Host &host = inv.host(host_id);
+        switch (t) {
+          case OpType::AddHost:
+            if (host.connected()) {
+                finish(ctx, TaskError::InvalidState);
+                return;
+            }
+            break;
+          case OpType::RemoveHost:
+            if (!host.connected() || host.numVms() > 0) {
+                finish(ctx, TaskError::InvalidState);
+                return;
+            }
+            break;
+          case OpType::EnterMaintenance: {
+            if (!host.connected() || host.inMaintenance()) {
+                finish(ctx, TaskError::InvalidState);
+                return;
+            }
+            for (VmId v : host.vms()) {
+                if (inv.vm(v).powerState() == PowerState::PoweredOn) {
+                    finish(ctx, TaskError::InvalidState);
+                    return;
+                }
+            }
+            break;
+          }
+          case OpType::ExitMaintenance:
+            if (!host.inMaintenance()) {
+                finish(ctx, TaskError::InvalidState);
+                return;
+            }
+            break;
+          default:
+            panic("execHostLifecycle: bad op");
+        }
+
+        runDbPhase(ctx, costs.dbTxns(t), TaskPhase::Db,
+                   [this, ctx, t, host_id]() {
+            runAgentPhase(ctx, host_id, [this, ctx, t, host_id]() {
+                Host &host = inv.host(host_id);
+                switch (t) {
+                  case OpType::AddHost:
+                    host.setConnected(true);
+                    break;
+                  case OpType::RemoveHost:
+                    host.setConnected(false);
+                    break;
+                  case OpType::EnterMaintenance:
+                    host.setMaintenance(true);
+                    break;
+                  case OpType::ExitMaintenance:
+                    host.setMaintenance(false);
+                    break;
+                  default:
+                    break;
+                }
+                runDbPhase(ctx, costs.finalizeTxns(t),
+                           TaskPhase::Finalize, [this, ctx]() {
+                    finish(ctx, TaskError::None);
+                });
+            });
+        });
+    });
+}
+
+/*
+ * ReplicateBaseDisk: copy a linked-clone base disk to another
+ * datastore — the unit step of "cloud reconfiguration" (spreading
+ * base disks so linked clones can land on more datastores).
+ */
+void
+ManagementServer::execReplicateBaseDisk(const CtxPtr &ctx)
+{
+    const OpRequest &req = ctx->task->request();
+    if (!req.base_disk.valid() || !inv.hasDisk(req.base_disk) ||
+        !inv.hasHost(req.host)) {
+        finish(ctx, TaskError::NoSuchEntity);
+        return;
+    }
+    {
+        const VirtualDisk &base = inv.disk(req.base_disk);
+        if (base.kind != DiskKind::Flat) {
+            finish(ctx, TaskError::BadRequest);
+            return;
+        }
+        // Same-datastore replication is legal (additional shadow
+        // copies on one datastore); the copy then runs through that
+        // datastore's own pipe instead of the network fabric.
+        Host &host = inv.host(req.host);
+        if (!host.connected() || host.inMaintenance()) {
+            finish(ctx, TaskError::HostUnavailable);
+            return;
+        }
+    }
+
+    acquireLocks(
+        ctx,
+        {{lockKey(req.base_disk), LockMode::Shared},
+         {lockKey(req.datastore), LockMode::Shared}},
+        [this, ctx]() {
+            const OpRequest &req = ctx->task->request();
+            // The base may have been destroyed while we waited for
+            // the shared lock; holding it now protects the copy.
+            if (!inv.hasDisk(req.base_disk)) {
+                finish(ctx, TaskError::NoSuchEntity);
+                return;
+            }
+            OpType t = req.type;
+            runDbPhase(ctx, costs.dbTxns(t), TaskPhase::Db,
+                       [this, ctx, t]() {
+                const OpRequest &req = ctx->task->request();
+                const VirtualDisk &base = inv.disk(req.base_disk);
+                DiskConfig dc;
+                dc.kind = DiskKind::Flat;
+                dc.datastore = req.datastore;
+                dc.capacity = base.capacity;
+                DiskId copy = inv.createDisk(dc);
+                if (!copy.valid()) {
+                    finish(ctx, TaskError::OutOfSpace);
+                    return;
+                }
+                ctx->task->setResultDisk(copy);
+                Bytes bytes = base.allocated;
+                runAgentDataPhase(
+                    ctx, req.host, req.datastore, base.datastore,
+                    req.datastore, bytes, [this, ctx, t]() {
+                        runDbPhase(ctx, costs.finalizeTxns(t),
+                                   TaskPhase::Finalize,
+                                   [this, ctx]() {
+                            finish(ctx, TaskError::None);
+                        });
+                    });
+            });
+        });
+}
+
+/*
+ * ConsolidateDisk: materialize a delta disk into a standalone flat
+ * disk, detaching it from its base (bounds chain depth; frees the
+ * base for retirement).
+ */
+void
+ManagementServer::execConsolidateDisk(const CtxPtr &ctx)
+{
+    const OpRequest &req = ctx->task->request();
+    if (!req.base_disk.valid() || !inv.hasDisk(req.base_disk) ||
+        !inv.hasHost(req.host)) {
+        finish(ctx, TaskError::NoSuchEntity);
+        return;
+    }
+    DiskId disk_id = req.base_disk;
+    {
+        const VirtualDisk &d = inv.disk(disk_id);
+        if (!d.isDelta() || d.ref_count > 0) {
+            finish(ctx, TaskError::BadRequest);
+            return;
+        }
+    }
+
+    DiskId parent_id = inv.disk(disk_id).parent;
+    acquireLocks(
+        ctx,
+        {{lockKey(disk_id), LockMode::Exclusive},
+         {lockKey(parent_id), LockMode::Shared}},
+        [this, ctx, disk_id, parent_id]() {
+            // Either end of the chain may have vanished while we
+            // waited (the disks are not ours until the locks are).
+            if (!inv.hasDisk(disk_id) || !inv.hasDisk(parent_id)) {
+                finish(ctx, TaskError::NoSuchEntity);
+                return;
+            }
+            if (!inv.disk(disk_id).isDelta() ||
+                inv.disk(disk_id).parent != parent_id ||
+                inv.disk(disk_id).ref_count > 0) {
+                finish(ctx, TaskError::InvalidState);
+                return;
+            }
+            const OpRequest &req = ctx->task->request();
+            OpType t = req.type;
+            VirtualDisk &d = inv.disk(disk_id);
+            const VirtualDisk &parent = inv.disk(parent_id);
+
+            // Space for the base content being copied in.
+            Bytes extra = parent.allocated;
+            if (!inv.datastore(d.datastore).reserve(extra)) {
+                finish(ctx, TaskError::OutOfSpace);
+                return;
+            }
+            ctx->reserved_ds = d.datastore;
+            ctx->reserved_bytes = extra;
+
+            DatastoreId ds = d.datastore;
+            Bytes bytes = parent.allocated;
+            runDbPhase(ctx, costs.dbTxns(t), TaskPhase::Db,
+                       [this, ctx, t, disk_id, parent_id, ds, bytes]() {
+                const OpRequest &req = ctx->task->request();
+                runAgentDataPhase(
+                    ctx, req.host, ds,
+                    inv.disk(parent_id).datastore, ds, bytes,
+                    [this, ctx, t, disk_id, parent_id]() {
+                        VirtualDisk &d = inv.disk(disk_id);
+                        VirtualDisk &parent = inv.disk(parent_id);
+                        d.allocated += ctx->reserved_bytes;
+                        d.kind = DiskKind::Flat;
+                        d.parent = DiskId();
+                        d.chain_depth = 1;
+                        parent.ref_count -= 1;
+                        if (parent.ref_count < 0)
+                            panic("Consolidate: ref underflow");
+                        // Reservation now owned by the disk record.
+                        ctx->reserved_bytes = 0;
+                        ctx->reserved_ds = DatastoreId();
+                        runDbPhase(ctx, costs.finalizeTxns(t),
+                                   TaskPhase::Finalize,
+                                   [this, ctx]() {
+                            finish(ctx, TaskError::None);
+                        });
+                    });
+            });
+        });
+}
+
+} // namespace vcp

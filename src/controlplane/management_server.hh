@@ -1,0 +1,229 @@
+/**
+ * @file
+ * The management server: the control plane's front door and task
+ * execution pipeline.
+ *
+ * Every operation flows through the same stations:
+ *
+ *   submit -> [api threads] -> [dispatch queue] -> [entity locks]
+ *          -> [inventory DB txns] -> [host agent +/- data copy]
+ *          -> [finalize DB txns] -> complete
+ *
+ * Each station is a bounded resource, so the pipeline exhibits the
+ * queueing behaviour the paper characterizes: once provisioning no
+ * longer pays a data-copy cost (linked clones), throughput is capped
+ * by dispatch width, DB connections, host-agent slots, and lock
+ * serialization — the management control plane itself.
+ */
+
+#ifndef VCP_CONTROLPLANE_MANAGEMENT_SERVER_HH
+#define VCP_CONTROLPLANE_MANAGEMENT_SERVER_HH
+
+#include <memory>
+#include <unordered_map>
+
+#include "controlplane/cost_model.hh"
+#include "controlplane/database.hh"
+#include "controlplane/host_agent.hh"
+#include "controlplane/lock_manager.hh"
+#include "controlplane/op_types.hh"
+#include "controlplane/rate_limiter.hh"
+#include "controlplane/scheduler.hh"
+#include "controlplane/task.hh"
+#include "infra/inventory.hh"
+#include "infra/network.hh"
+#include "sim/service_center.hh"
+#include "sim/simulator.hh"
+#include "stats/registry.hh"
+
+namespace vcp {
+
+/** Sizing and policy of the management server. */
+struct ManagementServerConfig
+{
+    /** Front-door request-processing threads. */
+    int api_threads = 8;
+
+    /** Maximum concurrently executing tasks. */
+    int dispatch_width = 32;
+
+    /** Dispatch ordering policy. */
+    SchedPolicy policy = SchedPolicy::Fifo;
+
+    /** Database connection pool. */
+    DatabaseConfig db;
+
+    /** Per-host agent sizing. */
+    HostAgentConfig agent;
+
+    /** Concurrent provisioning/data ops allowed per datastore. */
+    int datastore_slots = 8;
+
+    /** Operation cost parameters. */
+    CostModelConfig costs;
+
+    /** Per-tenant API admission control. */
+    RateLimitConfig rate_limit;
+
+    /**
+     * Background database load (statistics rollups, event purges):
+     * every @c background_db_period the server runs
+     * @c background_db_txns transactions through the same connection
+     * pool operations use.  0 period disables it.  NOTE: when
+     * enabled, the recurring event keeps the event set non-empty —
+     * drive such simulations with runUntil(), not run().
+     */
+    SimDuration background_db_period = 0;
+    int background_db_txns = 50;
+
+    /** Keep finished Task records for inspection (tests want this;
+     *  long-running benches may turn it off to bound memory). */
+    bool retain_finished_tasks = true;
+};
+
+/** The vCenter-class management server model. */
+class ManagementServer
+{
+  public:
+    ManagementServer(Simulator &sim, Inventory &inventory,
+                     Network &network, StatRegistry &stats,
+                     const ManagementServerConfig &cfg = {});
+
+    ManagementServer(const ManagementServer &) = delete;
+    ManagementServer &operator=(const ManagementServer &) = delete;
+
+    /**
+     * Submit an operation.  @p on_done fires when the task finishes
+     * (successfully or not), receiving the final Task record.  A
+     * rate-limited request still produces a (failed) task so the
+     * rejection is observable.
+     * @return the new task's id.
+     */
+    TaskId submit(const OpRequest &req, TaskCallback on_done = {});
+
+    /**
+     * Request cancellation of a task.  Best effort: honored if the
+     * task has not yet dispatched (it then fails with
+     * TaskError::Cancelled); a running task completes normally.
+     * @return true if the request was registered.
+     */
+    bool cancel(TaskId id);
+
+    /** @{ Task lookup (only finished tasks may have been purged). */
+    bool hasTask(TaskId id) const { return tasks.count(id) > 0; }
+    const Task &task(TaskId id) const;
+    /** @} */
+
+    /** @{ Component access for tests, benches, and the cloud layer. */
+    TaskScheduler &scheduler() { return sched; }
+    InventoryDatabase &database() { return db; }
+    LockManager &lockManager() { return locks; }
+    TenantRateLimiter &rateLimiter() { return limiter; }
+    OpCostModel &costModel() { return costs; }
+    ServiceCenter &apiCenter() { return api; }
+    HostAgent &hostAgent(HostId h);
+    ServiceCenter &datastoreSlots(DatastoreId d);
+    Inventory &inventory() { return inv; }
+    Network &network() { return net; }
+    Simulator &simulator() { return sim; }
+    StatRegistry &statRegistry() { return stats; }
+    const ManagementServerConfig &config() const { return cfg; }
+    /** @} */
+
+    /** @{ Aggregate counters. */
+    std::uint64_t opsSubmitted() const { return submitted_ops; }
+    std::uint64_t opsCompleted() const { return completed_ops; }
+    std::uint64_t opsFailed() const { return failed_ops; }
+
+    /** Bulk bytes moved by all data-plane phases so far. */
+    Bytes bytesMoved() const { return bytes_moved; }
+    /** @} */
+
+    /** End-to-end latency histogram for one op type (microseconds). */
+    Histogram &latencyHistogram(OpType t);
+
+    /**
+     * Observer invoked with every finished task (before the task's
+     * own callback) — the hook the trace recorder uses.
+     */
+    void setTaskObserver(TaskCallback observer)
+    {
+        task_observer = std::move(observer);
+    }
+
+  private:
+    struct OpCtx;
+    using CtxPtr = std::shared_ptr<OpCtx>;
+
+    /** Dispatch entry: validate and route to the per-op executor. */
+    void runTask(const CtxPtr &ctx);
+
+    /** @{ Per-op executors (documented in the .cc). */
+    void execPower(const CtxPtr &ctx);
+    void execCreateVm(const CtxPtr &ctx);
+    void execClone(const CtxPtr &ctx);
+    void execDestroy(const CtxPtr &ctx);
+    void execRegister(const CtxPtr &ctx);
+    void execReconfigure(const CtxPtr &ctx);
+    void execSnapshot(const CtxPtr &ctx);
+    void execRemoveSnapshot(const CtxPtr &ctx);
+    void execRelocate(const CtxPtr &ctx);
+    void execMigrate(const CtxPtr &ctx);
+    void execHostLifecycle(const CtxPtr &ctx);
+    void execReplicateBaseDisk(const CtxPtr &ctx);
+    void execConsolidateDisk(const CtxPtr &ctx);
+    /** @} */
+
+    /** @{ Pipeline helpers. */
+    void acquireLocks(const CtxPtr &ctx, std::vector<LockRequest> reqs,
+                      std::function<void()> then);
+    void runDbPhase(const CtxPtr &ctx, int txns, TaskPhase phase,
+                    std::function<void()> then);
+    void runAgentPhase(const CtxPtr &ctx, HostId host,
+                       std::function<void()> then);
+
+    /**
+     * Acquire datastore slot + host agent slot, run host setup, then
+     * move @p bytes (0 = no copy), release both, and continue.
+     */
+    void runAgentDataPhase(const CtxPtr &ctx, HostId host,
+                           DatastoreId slot_ds, DatastoreId src_ds,
+                           DatastoreId dst_ds, Bytes bytes,
+                           std::function<void()> then);
+
+    /** Finish the task, releasing everything the ctx still holds. */
+    void finish(const CtxPtr &ctx, TaskError err);
+    /** @} */
+
+    Simulator &sim;
+    Inventory &inv;
+    Network &net;
+    StatRegistry &stats;
+    ManagementServerConfig cfg;
+
+    OpCostModel costs;
+    ServiceCenter api;
+    TaskScheduler sched;
+    InventoryDatabase db;
+    LockManager locks;
+    TenantRateLimiter limiter;
+
+    /** Recurring statistics-rollup load on the database. */
+    void backgroundDbTick();
+
+    std::unordered_map<HostId, std::unique_ptr<HostAgent>> agents;
+    std::unordered_map<DatastoreId, std::unique_ptr<ServiceCenter>>
+        ds_slots;
+    std::unordered_map<TaskId, std::shared_ptr<Task>> tasks;
+
+    TaskCallback task_observer;
+    std::int64_t next_task_id = 1;
+    std::uint64_t submitted_ops = 0;
+    std::uint64_t completed_ops = 0;
+    std::uint64_t failed_ops = 0;
+    Bytes bytes_moved = 0;
+};
+
+} // namespace vcp
+
+#endif // VCP_CONTROLPLANE_MANAGEMENT_SERVER_HH

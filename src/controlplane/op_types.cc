@@ -1,0 +1,123 @@
+#include "controlplane/op_types.hh"
+
+namespace vcp {
+
+const char *
+opTypeName(OpType t)
+{
+    switch (t) {
+      case OpType::PowerOn:
+        return "power-on";
+      case OpType::PowerOff:
+        return "power-off";
+      case OpType::Suspend:
+        return "suspend";
+      case OpType::Reset:
+        return "reset";
+      case OpType::CreateVm:
+        return "create-vm";
+      case OpType::CloneFull:
+        return "clone-full";
+      case OpType::CloneLinked:
+        return "clone-linked";
+      case OpType::Destroy:
+        return "destroy";
+      case OpType::RegisterVm:
+        return "register-vm";
+      case OpType::UnregisterVm:
+        return "unregister-vm";
+      case OpType::Reconfigure:
+        return "reconfigure";
+      case OpType::Snapshot:
+        return "snapshot";
+      case OpType::RemoveSnapshot:
+        return "remove-snapshot";
+      case OpType::Relocate:
+        return "relocate";
+      case OpType::Migrate:
+        return "migrate";
+      case OpType::AddHost:
+        return "add-host";
+      case OpType::RemoveHost:
+        return "remove-host";
+      case OpType::EnterMaintenance:
+        return "enter-maintenance";
+      case OpType::ExitMaintenance:
+        return "exit-maintenance";
+      case OpType::ReplicateBaseDisk:
+        return "replicate-base-disk";
+      case OpType::ConsolidateDisk:
+        return "consolidate-disk";
+      case OpType::NumOpTypes:
+        break;
+    }
+    return "unknown";
+}
+
+OpType
+opTypeFromName(const std::string &name)
+{
+    for (std::size_t i = 0; i < kNumOpTypes; ++i) {
+        OpType t = static_cast<OpType>(i);
+        if (name == opTypeName(t))
+            return t;
+    }
+    return OpType::NumOpTypes;
+}
+
+OpCategory
+opCategory(OpType t)
+{
+    switch (t) {
+      case OpType::PowerOn:
+      case OpType::PowerOff:
+      case OpType::Suspend:
+      case OpType::Reset:
+        return OpCategory::Power;
+      case OpType::CreateVm:
+      case OpType::CloneFull:
+      case OpType::CloneLinked:
+      case OpType::Destroy:
+      case OpType::RegisterVm:
+      case OpType::UnregisterVm:
+        return OpCategory::Provisioning;
+      case OpType::Reconfigure:
+      case OpType::Snapshot:
+      case OpType::RemoveSnapshot:
+        return OpCategory::Configuration;
+      case OpType::Relocate:
+      case OpType::Migrate:
+        return OpCategory::Mobility;
+      case OpType::AddHost:
+      case OpType::RemoveHost:
+      case OpType::EnterMaintenance:
+      case OpType::ExitMaintenance:
+      case OpType::ReplicateBaseDisk:
+      case OpType::ConsolidateDisk:
+      case OpType::NumOpTypes:
+        return OpCategory::Infrastructure;
+    }
+    return OpCategory::Infrastructure;
+}
+
+const char *
+opCategoryName(OpCategory c)
+{
+    switch (c) {
+      case OpCategory::Power:
+        return "power";
+      case OpCategory::Provisioning:
+        return "provisioning";
+      case OpCategory::Configuration:
+        return "configuration";
+      case OpCategory::Mobility:
+        return "mobility";
+      case OpCategory::Infrastructure:
+        return "infrastructure";
+      case OpCategory::NumCategories:
+        break;
+    }
+    return "unknown";
+}
+
+} // namespace vcp

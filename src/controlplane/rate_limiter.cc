@@ -1,0 +1,63 @@
+#include "controlplane/rate_limiter.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace vcp {
+
+TenantRateLimiter::TenantRateLimiter(Simulator &sim_,
+                                     const RateLimitConfig &cfg_)
+    : sim(sim_), cfg(cfg_)
+{
+    if (cfg.enabled &&
+        (cfg.ops_per_second <= 0.0 || cfg.burst < 1.0)) {
+        fatal("TenantRateLimiter: need positive rate and burst >= 1");
+    }
+}
+
+void
+TenantRateLimiter::refill(Bucket &b)
+{
+    double elapsed_s = toSeconds(sim.now() - b.last_refill);
+    b.tokens = std::min(cfg.burst,
+                        b.tokens + elapsed_s * cfg.ops_per_second);
+    b.last_refill = sim.now();
+}
+
+bool
+TenantRateLimiter::tryAdmit(TenantId tenant)
+{
+    if (!cfg.enabled || !tenant.valid()) {
+        ++admitted;
+        return true;
+    }
+    auto it = buckets.find(tenant);
+    if (it == buckets.end()) {
+        Bucket fresh;
+        fresh.tokens = cfg.burst;
+        fresh.last_refill = sim.now();
+        it = buckets.emplace(tenant, fresh).first;
+    }
+    Bucket &b = it->second;
+    refill(b);
+    if (b.tokens < 1.0) {
+        ++rejected;
+        return false;
+    }
+    b.tokens -= 1.0;
+    ++admitted;
+    return true;
+}
+
+double
+TenantRateLimiter::tokens(TenantId tenant)
+{
+    auto it = buckets.find(tenant);
+    if (it == buckets.end())
+        return cfg.burst;
+    refill(it->second);
+    return it->second.tokens;
+}
+
+} // namespace vcp

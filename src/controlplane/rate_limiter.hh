@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Per-tenant API rate limiter (token bucket).
+ *
+ * Self-service clouds expose the management API to tenants directly;
+ * without admission control one tenant's script can monopolize the
+ * control plane.  The limiter refills continuously at ops_per_second
+ * up to a burst cap; an empty bucket rejects the request outright
+ * (TaskError::RateLimited), which is cheaper than queueing it.
+ */
+
+#ifndef VCP_CONTROLPLANE_RATE_LIMITER_HH
+#define VCP_CONTROLPLANE_RATE_LIMITER_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "infra/ids.hh"
+#include "sim/simulator.hh"
+
+namespace vcp {
+
+/** Token-bucket parameters, applied per tenant. */
+struct RateLimitConfig
+{
+    /** Master switch; disabled means everything is admitted. */
+    bool enabled = false;
+
+    /** Sustained operations per second per tenant. */
+    double ops_per_second = 2.0;
+
+    /** Bucket capacity (burst allowance). */
+    double burst = 20.0;
+};
+
+/** Continuous-refill token bucket per tenant. */
+class TenantRateLimiter
+{
+  public:
+    TenantRateLimiter(Simulator &sim, const RateLimitConfig &cfg);
+
+    TenantRateLimiter(const TenantRateLimiter &) = delete;
+    TenantRateLimiter &operator=(const TenantRateLimiter &) = delete;
+
+    /**
+     * Try to take one token for @p tenant.  Requests without a
+     * tenant (infrastructure ops) are always admitted.
+     * @return true if admitted.
+     */
+    bool tryAdmit(TenantId tenant);
+
+    /** Current token level (after refill) for inspection. */
+    double tokens(TenantId tenant);
+
+    std::uint64_t admissions() const { return admitted; }
+    std::uint64_t rejections() const { return rejected; }
+
+    const RateLimitConfig &config() const { return cfg; }
+
+  private:
+    struct Bucket
+    {
+        double tokens = 0.0;
+        SimTime last_refill = 0;
+    };
+
+    /** Refill a bucket to the current time. */
+    void refill(Bucket &b);
+
+    Simulator &sim;
+    RateLimitConfig cfg;
+    std::unordered_map<TenantId, Bucket> buckets;
+    std::uint64_t admitted = 0;
+    std::uint64_t rejected = 0;
+};
+
+} // namespace vcp
+
+#endif // VCP_CONTROLPLANE_RATE_LIMITER_HH

@@ -1,0 +1,143 @@
+#include "infra/bandwidth.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace vcp {
+
+SharedBandwidthResource::SharedBandwidthResource(
+    Simulator &sim_, std::string name, double capacity_bytes_per_sec)
+    : sim(sim_), label(std::move(name)), capacity(capacity_bytes_per_sec)
+{
+    if (capacity <= 0.0)
+        panic("SharedBandwidthResource %s: capacity must be > 0",
+              label.c_str());
+    last_advance = sim.now();
+}
+
+double
+SharedBandwidthResource::currentShare() const
+{
+    if (jobs.empty())
+        return capacity;
+    return capacity / static_cast<double>(jobs.size());
+}
+
+SimDuration
+SharedBandwidthResource::busyTime() const
+{
+    SimDuration t = busy_accum;
+    if (!jobs.empty())
+        t += sim.now() - busy_since;
+    return t;
+}
+
+void
+SharedBandwidthResource::advance()
+{
+    SimTime now = sim.now();
+    if (now == last_advance) {
+        return;
+    }
+    if (!jobs.empty()) {
+        double share = currentShare();
+        double progressed = share * toSeconds(now - last_advance);
+        for (auto &kv : jobs)
+            kv.second.remaining =
+                std::max(0.0, kv.second.remaining - progressed);
+    }
+    last_advance = now;
+}
+
+void
+SharedBandwidthResource::rescheduleCompletion()
+{
+    if (pending_event) {
+        sim.cancel(pending_event);
+        pending_event = 0;
+    }
+    if (jobs.empty())
+        return;
+    double min_remaining = std::numeric_limits<double>::infinity();
+    for (const auto &kv : jobs)
+        min_remaining = std::min(min_remaining, kv.second.remaining);
+    double share = currentShare();
+    double sec = min_remaining / share;
+    SimDuration delay =
+        static_cast<SimDuration>(std::ceil(sec * 1e6));
+    pending_event =
+        sim.schedule(std::max<SimDuration>(delay, 0),
+                     [this] { onCompletion(); });
+}
+
+void
+SharedBandwidthResource::onCompletion()
+{
+    pending_event = 0;
+    advance();
+    // Collect everything that has (numerically) finished.  Jobs are
+    // considered done within half a microsecond of work at current
+    // share to absorb tick rounding.
+    double epsilon = currentShare() * 1e-6;
+    std::vector<std::pair<TransferId, std::function<void()>>> done;
+    for (auto it = jobs.begin(); it != jobs.end();) {
+        if (it->second.remaining <= epsilon) {
+            bytes_done +=
+                static_cast<Bytes>(std::llround(it->second.total));
+            done.emplace_back(it->first, std::move(it->second.on_done));
+            it = jobs.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    if (jobs.empty() && !done.empty()) {
+        busy_accum += sim.now() - busy_since;
+    }
+    rescheduleCompletion();
+    for (auto &d : done) {
+        if (d.second)
+            d.second();
+    }
+}
+
+TransferId
+SharedBandwidthResource::startTransfer(Bytes bytes,
+                                       std::function<void()> on_done)
+{
+    if (bytes < 0)
+        panic("SharedBandwidthResource %s: negative transfer size",
+              label.c_str());
+    advance();
+    if (jobs.empty())
+        busy_since = sim.now();
+    TransferId id = next_id++;
+    Job job;
+    job.total = static_cast<double>(bytes);
+    job.remaining = static_cast<double>(bytes);
+    job.on_done = std::move(on_done);
+    jobs.emplace(id, std::move(job));
+    rescheduleCompletion();
+    return id;
+}
+
+bool
+SharedBandwidthResource::cancelTransfer(TransferId id)
+{
+    auto it = jobs.find(id);
+    if (it == jobs.end())
+        return false;
+    advance();
+    bytes_done += static_cast<Bytes>(
+        std::llround(it->second.total - it->second.remaining));
+    jobs.erase(it);
+    if (jobs.empty())
+        busy_accum += sim.now() - busy_since;
+    rescheduleCompletion();
+    return true;
+}
+
+} // namespace vcp

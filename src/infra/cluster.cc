@@ -1,0 +1,32 @@
+#include "infra/cluster.hh"
+
+#include <algorithm>
+
+namespace vcp {
+
+Cluster::Cluster(ClusterId id, std::string name)
+    : cluster_id(id), label(std::move(name))
+{}
+
+void
+Cluster::addHost(HostId h)
+{
+    if (!hasHost(h))
+        host_ids.push_back(h);
+}
+
+void
+Cluster::removeHost(HostId h)
+{
+    host_ids.erase(std::remove(host_ids.begin(), host_ids.end(), h),
+                   host_ids.end());
+}
+
+bool
+Cluster::hasHost(HostId h) const
+{
+    return std::find(host_ids.begin(), host_ids.end(), h) !=
+           host_ids.end();
+}
+
+} // namespace vcp

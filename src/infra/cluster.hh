@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Cluster: a named group of hosts that share placement scope.
+ * Load-aware host selection lives here; richer policy (datastore
+ * choice, anti-affinity) is in the cloud layer's PlacementEngine.
+ */
+
+#ifndef VCP_INFRA_CLUSTER_HH
+#define VCP_INFRA_CLUSTER_HH
+
+#include <string>
+#include <vector>
+
+#include "infra/ids.hh"
+
+namespace vcp {
+
+/** A host group with a shared placement scope. */
+class Cluster
+{
+  public:
+    Cluster(ClusterId id, std::string name);
+
+    ClusterId id() const { return cluster_id; }
+    const std::string &name() const { return label; }
+
+    void addHost(HostId h);
+    void removeHost(HostId h);
+    bool hasHost(HostId h) const;
+
+    const std::vector<HostId> &hosts() const { return host_ids; }
+    std::size_t numHosts() const { return host_ids.size(); }
+
+  private:
+    ClusterId cluster_id;
+    std::string label;
+    std::vector<HostId> host_ids;
+};
+
+} // namespace vcp
+
+#endif // VCP_INFRA_CLUSTER_HH

@@ -1,0 +1,47 @@
+#include "infra/datastore.hh"
+
+#include "sim/logging.hh"
+
+namespace vcp {
+
+Datastore::Datastore(Simulator &sim, DatastoreId id,
+                     const DatastoreConfig &cfg_)
+    : ds_id(id), cfg(cfg_)
+{
+    if (cfg.capacity <= 0)
+        fatal("Datastore %s: capacity must be positive",
+              cfg.name.c_str());
+    pipe = std::make_unique<SharedBandwidthResource>(
+        sim, "ds:" + cfg.name, cfg.copy_bandwidth);
+}
+
+double
+Datastore::utilization() const
+{
+    return static_cast<double>(used_bytes) /
+           static_cast<double>(cfg.capacity);
+}
+
+bool
+Datastore::reserve(Bytes bytes)
+{
+    if (bytes < 0)
+        panic("Datastore %s: negative reservation", cfg.name.c_str());
+    if (used_bytes + bytes > cfg.capacity)
+        return false;
+    used_bytes += bytes;
+    return true;
+}
+
+void
+Datastore::release(Bytes bytes)
+{
+    if (bytes < 0)
+        panic("Datastore %s: negative release", cfg.name.c_str());
+    used_bytes -= bytes;
+    if (used_bytes < 0)
+        panic("Datastore %s: released more than reserved",
+              cfg.name.c_str());
+}
+
+} // namespace vcp

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Shared datastore model: capacity accounting plus a processor-
+ * sharing copy-bandwidth pipe.  Full-clone provisioning moves whole
+ * disks through this pipe; linked-clone provisioning moves almost
+ * nothing — the asymmetry at the heart of the paper.
+ */
+
+#ifndef VCP_INFRA_DATASTORE_HH
+#define VCP_INFRA_DATASTORE_HH
+
+#include <memory>
+#include <string>
+
+#include "infra/bandwidth.hh"
+#include "infra/ids.hh"
+#include "sim/simulator.hh"
+#include "sim/types.hh"
+
+namespace vcp {
+
+/** Static sizing of a datastore. */
+struct DatastoreConfig
+{
+    std::string name;
+    Bytes capacity = 0;
+
+    /** Aggregate copy bandwidth of the backing array (bytes/s). */
+    double copy_bandwidth = 200.0 * 1024 * 1024;
+};
+
+/** One shared datastore (LUN / NFS volume). */
+class Datastore
+{
+  public:
+    Datastore(Simulator &sim, DatastoreId id, const DatastoreConfig &cfg);
+
+    DatastoreId id() const { return ds_id; }
+    const std::string &name() const { return cfg.name; }
+    const DatastoreConfig &config() const { return cfg; }
+
+    Bytes capacity() const { return cfg.capacity; }
+    Bytes used() const { return used_bytes; }
+    Bytes free() const { return cfg.capacity - used_bytes; }
+
+    /** Fraction of capacity allocated, in [0, 1]. */
+    double utilization() const;
+
+    /**
+     * Reserve @p bytes of space.
+     * @return false if insufficient free space (nothing reserved).
+     */
+    bool reserve(Bytes bytes);
+
+    /** Return @p bytes of space. */
+    void release(Bytes bytes);
+
+    /** The shared copy pipe for data movement on this datastore. */
+    SharedBandwidthResource &copyPipe() { return *pipe; }
+    const SharedBandwidthResource &copyPipe() const { return *pipe; }
+
+  private:
+    DatastoreId ds_id;
+    DatastoreConfig cfg;
+    Bytes used_bytes = 0;
+    std::unique_ptr<SharedBandwidthResource> pipe;
+};
+
+} // namespace vcp
+
+#endif // VCP_INFRA_DATASTORE_HH

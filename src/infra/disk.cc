@@ -1,0 +1,19 @@
+#include "infra/disk.hh"
+
+namespace vcp {
+
+const char *
+diskKindName(DiskKind k)
+{
+    switch (k) {
+      case DiskKind::Flat:
+        return "flat";
+      case DiskKind::LinkedCloneDelta:
+        return "linked-clone-delta";
+      case DiskKind::SnapshotDelta:
+        return "snapshot-delta";
+    }
+    return "unknown";
+}
+
+} // namespace vcp

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Strongly typed entity identifiers.
+ *
+ * Every inventory entity (host, VM, disk, datastore, ...) is referred
+ * to by a small integer id.  Wrapping the integer in a tag-typed
+ * struct prevents passing a VmId where a HostId is expected — the
+ * class of bug most endemic to inventory-management code.
+ */
+
+#ifndef VCP_INFRA_IDS_HH
+#define VCP_INFRA_IDS_HH
+
+#include <cstdint>
+#include <functional>
+
+namespace vcp {
+
+/** Tag-typed integer id.  Default-constructed ids are invalid. */
+template <typename Tag>
+struct Id
+{
+    std::int64_t value = -1;
+
+    constexpr Id() = default;
+    constexpr explicit Id(std::int64_t v) : value(v) {}
+
+    constexpr bool valid() const { return value >= 0; }
+
+    constexpr bool operator==(const Id &) const = default;
+    constexpr auto operator<=>(const Id &) const = default;
+};
+
+using HostId = Id<struct HostIdTag>;
+using VmId = Id<struct VmIdTag>;
+using DiskId = Id<struct DiskIdTag>;
+using DatastoreId = Id<struct DatastoreIdTag>;
+using ClusterId = Id<struct ClusterIdTag>;
+using TenantId = Id<struct TenantIdTag>;
+using TemplateId = Id<struct TemplateIdTag>;
+using VAppId = Id<struct VAppIdTag>;
+using TaskId = Id<struct TaskIdTag>;
+
+/** Hash adaptor so ids work as unordered_map keys. */
+template <typename Tag>
+struct IdHash
+{
+    std::size_t
+    operator()(const Id<Tag> &id) const
+    {
+        return std::hash<std::int64_t>{}(id.value);
+    }
+};
+
+} // namespace vcp
+
+namespace std {
+
+template <typename Tag>
+struct hash<vcp::Id<Tag>>
+{
+    size_t
+    operator()(const vcp::Id<Tag> &id) const
+    {
+        return hash<int64_t>{}(id.value);
+    }
+};
+
+} // namespace std
+
+#endif // VCP_INFRA_IDS_HH

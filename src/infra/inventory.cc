@@ -1,0 +1,294 @@
+#include "infra/inventory.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace vcp {
+
+Inventory::Inventory(Simulator &sim_)
+    : sim(sim_)
+{}
+
+HostId
+Inventory::addHost(const HostConfig &cfg)
+{
+    HostId id(next_id++);
+    hosts.emplace(id, std::make_unique<Host>(id, cfg));
+    return id;
+}
+
+DatastoreId
+Inventory::addDatastore(const DatastoreConfig &cfg)
+{
+    DatastoreId id(next_id++);
+    datastores_.emplace(id,
+                        std::make_unique<Datastore>(sim, id, cfg));
+    return id;
+}
+
+ClusterId
+Inventory::addCluster(const std::string &name)
+{
+    ClusterId id(next_id++);
+    clusters.emplace(id, std::make_unique<Cluster>(id, name));
+    return id;
+}
+
+void
+Inventory::assignHostToCluster(HostId h, ClusterId c)
+{
+    Host &hst = host(h);
+    if (hst.cluster().valid())
+        cluster(hst.cluster()).removeHost(h);
+    cluster(c).addHost(h);
+    hst.setCluster(c);
+}
+
+void
+Inventory::connectHostToDatastore(HostId h, DatastoreId d)
+{
+    // Validate the datastore exists.
+    datastore(d);
+    host(h).attachDatastore(d);
+}
+
+VmId
+Inventory::createVm(const VmConfig &cfg)
+{
+    VmId id(next_id++);
+    auto vm = std::make_unique<Vm>();
+    vm->id = id;
+    vm->name = cfg.name;
+    vm->vcpus = cfg.vcpus;
+    vm->memory = cfg.memory;
+    vm->tenant = cfg.tenant;
+    vm->vapp = cfg.vapp;
+    vm->is_template = cfg.is_template;
+    vm->created_at = sim.now();
+    vms.emplace(id, std::move(vm));
+    ++vm_creations;
+    return id;
+}
+
+DiskId
+Inventory::createDisk(const DiskConfig &cfg)
+{
+    if (cfg.capacity < 0)
+        panic("Inventory::createDisk: negative capacity");
+    Datastore &ds = datastore(cfg.datastore);
+
+    // Flat disks default to thick allocation; a positive
+    // initial_allocation makes them thin (template golden masters).
+    Bytes to_reserve = cfg.initial_allocation;
+    if (cfg.kind == DiskKind::Flat && cfg.initial_allocation == 0)
+        to_reserve = cfg.capacity;
+    if (!ds.reserve(to_reserve))
+        return DiskId();
+
+    int depth = 1;
+    if (cfg.kind != DiskKind::Flat) {
+        if (!cfg.parent.valid())
+            panic("Inventory::createDisk: delta disk needs a parent");
+        VirtualDisk &par = disk(cfg.parent);
+        par.ref_count += 1;
+        depth = par.chain_depth + 1;
+    }
+
+    DiskId id(next_id++);
+    VirtualDisk d;
+    d.id = id;
+    d.kind = cfg.kind;
+    d.datastore = cfg.datastore;
+    d.capacity = cfg.capacity;
+    d.allocated = to_reserve;
+    d.parent = cfg.parent;
+    d.owner = cfg.owner;
+    d.chain_depth = depth;
+    disks.emplace(id, d);
+    return id;
+}
+
+bool
+Inventory::destroyDisk(DiskId id)
+{
+    VirtualDisk &d = disk(id);
+    if (d.ref_count > 0)
+        return false;
+    datastore(d.datastore).release(d.allocated);
+    if (d.parent.valid()) {
+        VirtualDisk &par = disk(d.parent);
+        par.ref_count -= 1;
+        if (par.ref_count < 0)
+            panic("Inventory: disk ref count underflow");
+    }
+    disks.erase(id);
+    return true;
+}
+
+bool
+Inventory::destroyVm(VmId id)
+{
+    Vm &v = vm(id);
+    if (v.powerState() != PowerState::PoweredOff)
+        panic("Inventory::destroyVm: %s is not powered off",
+              v.name.c_str());
+    if (v.host.valid())
+        panic("Inventory::destroyVm: %s is still registered",
+              v.name.c_str());
+    // A disk may be referenced by the VM's own snapshot deltas
+    // (which we destroy children-first below); only references from
+    // *outside* the VM block destruction.
+    for (DiskId did : v.disks) {
+        int refs_within_vm = 0;
+        for (DiskId other : v.disks) {
+            if (disk(other).parent == did)
+                ++refs_within_vm;
+        }
+        if (disk(did).ref_count > refs_within_vm)
+            return false;
+    }
+    // Children were appended after their parents, so reverse order
+    // tears chains down leaf-first.
+    for (auto it = v.disks.rbegin(); it != v.disks.rend(); ++it) {
+        if (!destroyDisk(*it))
+            panic("Inventory::destroyVm: chain destroy failed");
+    }
+    vms.erase(id);
+    return true;
+}
+
+bool
+Inventory::growDisk(DiskId id, Bytes by)
+{
+    if (by < 0)
+        panic("Inventory::growDisk: negative growth");
+    VirtualDisk &d = disk(id);
+    if (!datastore(d.datastore).reserve(by))
+        return false;
+    d.allocated += by;
+    return true;
+}
+
+namespace {
+
+template <typename Map, typename IdT>
+auto &
+lookupOrPanic(Map &map, IdT id, const char *what)
+{
+    auto it = map.find(id);
+    if (it == map.end())
+        panic("Inventory: no such %s (id %lld)", what,
+              static_cast<long long>(id.value));
+    return it->second;
+}
+
+} // namespace
+
+Host &
+Inventory::host(HostId id)
+{
+    return *lookupOrPanic(hosts, id, "host");
+}
+
+const Host &
+Inventory::host(HostId id) const
+{
+    return *lookupOrPanic(hosts, id, "host");
+}
+
+Datastore &
+Inventory::datastore(DatastoreId id)
+{
+    return *lookupOrPanic(datastores_, id, "datastore");
+}
+
+const Datastore &
+Inventory::datastore(DatastoreId id) const
+{
+    return *lookupOrPanic(datastores_, id, "datastore");
+}
+
+Cluster &
+Inventory::cluster(ClusterId id)
+{
+    return *lookupOrPanic(clusters, id, "cluster");
+}
+
+const Cluster &
+Inventory::cluster(ClusterId id) const
+{
+    return *lookupOrPanic(clusters, id, "cluster");
+}
+
+Vm &
+Inventory::vm(VmId id)
+{
+    return *lookupOrPanic(vms, id, "vm");
+}
+
+const Vm &
+Inventory::vm(VmId id) const
+{
+    return *lookupOrPanic(vms, id, "vm");
+}
+
+VirtualDisk &
+Inventory::disk(DiskId id)
+{
+    return lookupOrPanic(disks, id, "disk");
+}
+
+const VirtualDisk &
+Inventory::disk(DiskId id) const
+{
+    return lookupOrPanic(disks, id, "disk");
+}
+
+namespace {
+
+template <typename Map, typename IdT>
+std::vector<IdT>
+sortedIds(const Map &map)
+{
+    std::vector<IdT> out;
+    out.reserve(map.size());
+    for (const auto &kv : map)
+        out.push_back(kv.first);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+} // namespace
+
+std::vector<HostId>
+Inventory::hostIds() const
+{
+    return sortedIds<decltype(hosts), HostId>(hosts);
+}
+
+std::vector<DatastoreId>
+Inventory::datastoreIds() const
+{
+    return sortedIds<decltype(datastores_), DatastoreId>(datastores_);
+}
+
+std::vector<ClusterId>
+Inventory::clusterIds() const
+{
+    return sortedIds<decltype(clusters), ClusterId>(clusters);
+}
+
+std::vector<VmId>
+Inventory::vmIds() const
+{
+    return sortedIds<decltype(vms), VmId>(vms);
+}
+
+std::vector<DiskId>
+Inventory::diskIds() const
+{
+    return sortedIds<decltype(disks), DiskId>(disks);
+}
+
+} // namespace vcp

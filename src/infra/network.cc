@@ -1,0 +1,24 @@
+#include "infra/network.hh"
+
+#include "sim/logging.hh"
+
+namespace vcp {
+
+Network::Network(Simulator &sim_, const NetworkConfig &cfg_)
+    : sim(sim_), cfg(cfg_)
+{
+    if (cfg.core_bandwidth <= 0.0)
+        fatal("Network: core bandwidth must be positive");
+    if (cfg.message_latency < 0)
+        fatal("Network: message latency must be non-negative");
+    pipe = std::make_unique<SharedBandwidthResource>(
+        sim, "net:core", cfg.core_bandwidth);
+}
+
+void
+Network::sendMessage(std::function<void()> on_delivered)
+{
+    sim.schedule(cfg.message_latency, std::move(on_delivered));
+}
+
+} // namespace vcp

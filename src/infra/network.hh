@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Management-network model.
+ *
+ * Cross-datastore clones and live migrations move bulk data over the
+ * network.  We model the network as one shared core fabric
+ * (processor-sharing) plus a fixed per-message propagation latency
+ * for control traffic.  Per-host NICs are deliberately not modeled
+ * separately: in the management-plane workloads studied here the
+ * fabric (or array) is the bottleneck, and a single PS pipe keeps the
+ * contention behaviour while staying analyzable (see DESIGN.md).
+ */
+
+#ifndef VCP_INFRA_NETWORK_HH
+#define VCP_INFRA_NETWORK_HH
+
+#include <memory>
+#include <string>
+
+#include "infra/bandwidth.hh"
+#include "sim/simulator.hh"
+#include "sim/types.hh"
+
+namespace vcp {
+
+/** Static sizing of the management network. */
+struct NetworkConfig
+{
+    /** Core fabric bandwidth available to bulk management traffic. */
+    double core_bandwidth = 1.25e9; // 10 Gb/s in bytes/s
+
+    /** One-way propagation latency for control messages. */
+    SimDuration message_latency = usec(500);
+};
+
+/** The shared management network. */
+class Network
+{
+  public:
+    Network(Simulator &sim, const NetworkConfig &cfg);
+
+    const NetworkConfig &config() const { return cfg; }
+
+    /** Shared bulk-transfer fabric. */
+    SharedBandwidthResource &fabric() { return *pipe; }
+    const SharedBandwidthResource &fabric() const { return *pipe; }
+
+    /** One-way control-message latency. */
+    SimDuration messageLatency() const { return cfg.message_latency; }
+
+    /**
+     * Deliver a control message after the propagation latency.
+     * Convenience over sim.schedule for readability at call sites.
+     */
+    void sendMessage(std::function<void()> on_delivered);
+
+  private:
+    Simulator &sim;
+    NetworkConfig cfg;
+    std::unique_ptr<SharedBandwidthResource> pipe;
+};
+
+} // namespace vcp
+
+#endif // VCP_INFRA_NETWORK_HH

@@ -1,0 +1,67 @@
+#include "sim/event_queue.hh"
+
+#include "sim/logging.hh"
+
+namespace vcp {
+
+EventId
+EventQueue::push(SimTime when, int priority, std::function<void()> action)
+{
+    Event ev;
+    ev.when = when;
+    ev.priority = priority;
+    ev.seq = next_seq++;
+    ev.id = next_id++;
+    ev.action = std::move(action);
+    EventId id = ev.id;
+    heap.push(std::move(ev));
+    pending.insert(id);
+    ++live_count;
+    return id;
+}
+
+bool
+EventQueue::cancel(EventId id)
+{
+    auto it = pending.find(id);
+    if (it == pending.end())
+        return false;
+    pending.erase(it);
+    cancelled.insert(id);
+    --live_count;
+    return true;
+}
+
+void
+EventQueue::skipCancelled()
+{
+    while (!heap.empty()) {
+        auto it = cancelled.find(heap.top().id);
+        if (it == cancelled.end())
+            return;
+        cancelled.erase(it);
+        heap.pop();
+    }
+}
+
+SimTime
+EventQueue::nextTime()
+{
+    skipCancelled();
+    return heap.empty() ? kMaxSimTime : heap.top().when;
+}
+
+Event
+EventQueue::pop()
+{
+    skipCancelled();
+    if (heap.empty())
+        panic("EventQueue::pop on empty queue");
+    Event ev = heap.top();
+    heap.pop();
+    pending.erase(ev.id);
+    --live_count;
+    return ev;
+}
+
+} // namespace vcp

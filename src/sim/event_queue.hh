@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Pending-event set for the discrete-event kernel.
+ *
+ * A binary heap ordered by (time, priority, sequence).  Ties at the
+ * same timestamp are broken first by ascending priority value (lower
+ * runs earlier) and then by insertion order, which makes runs fully
+ * deterministic for a fixed seed.  Cancellation is lazy: cancelled
+ * entries stay in the heap and are discarded on pop.
+ */
+
+#ifndef VCP_SIM_EVENT_QUEUE_HH
+#define VCP_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace vcp {
+
+/** Opaque handle for a scheduled event; usable to cancel it. */
+using EventId = std::uint64_t;
+
+/** A scheduled callback with its firing time and tie-break keys. */
+struct Event
+{
+    SimTime when = 0;
+    int priority = 0;
+    std::uint64_t seq = 0;
+    EventId id = 0;
+    std::function<void()> action;
+};
+
+/** Min-heap of pending events with lazy cancellation. */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    /**
+     * Insert an event.
+     * @param when absolute simulated firing time.
+     * @param priority tie-break at equal time; lower fires first.
+     * @param action callback to run.
+     * @return handle usable with cancel().
+     */
+    EventId push(SimTime when, int priority, std::function<void()> action);
+
+    /**
+     * Cancel a pending event.
+     * @return true if the event was pending and is now cancelled.
+     */
+    bool cancel(EventId id);
+
+    /** @return true when no live (non-cancelled) events remain. */
+    bool empty() const { return live_count == 0; }
+
+    /** Number of live pending events. */
+    std::size_t size() const { return live_count; }
+
+    /** Firing time of the earliest live event; kMaxSimTime if none. */
+    SimTime nextTime();
+
+    /**
+     * Remove and return the earliest live event.
+     * @pre !empty()
+     */
+    Event pop();
+
+  private:
+    struct Compare
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.priority != b.priority)
+                return a.priority > b.priority;
+            return a.seq > b.seq;
+        }
+    };
+
+    /** Drop cancelled entries from the heap top. */
+    void skipCancelled();
+
+    std::priority_queue<Event, std::vector<Event>, Compare> heap;
+    /** Ids scheduled and neither fired nor cancelled yet. */
+    std::unordered_set<EventId> pending;
+    std::unordered_set<EventId> cancelled;
+    std::uint64_t next_seq = 0;
+    EventId next_id = 1;
+    std::size_t live_count = 0;
+};
+
+} // namespace vcp
+
+#endif // VCP_SIM_EVENT_QUEUE_HH

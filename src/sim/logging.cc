@@ -1,0 +1,99 @@
+#include "sim/logging.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#if defined(__GLIBC__)
+#include <execinfo.h>
+#endif
+
+namespace vcp {
+
+namespace {
+std::atomic<bool> quiet_flag{false};
+} // namespace
+
+std::string
+vformatMessage(const char *fmt, std::va_list ap)
+{
+    std::va_list ap_copy;
+    va_copy(ap_copy, ap);
+    int n = std::vsnprintf(nullptr, 0, fmt, ap_copy);
+    va_end(ap_copy);
+    if (n < 0)
+        return fmt;
+    std::vector<char> buf(static_cast<size_t>(n) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, ap);
+    return std::string(buf.data(), static_cast<size_t>(n));
+}
+
+void
+panic(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vformatMessage(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+#if defined(__GLIBC__)
+    // Debugging aid: VCP_PANIC_BACKTRACE=1 prints the throw site.
+    if (const char *bt_env = std::getenv("VCP_PANIC_BACKTRACE");
+        bt_env && bt_env[0] == '1') {
+        void *frames[48];
+        int n = backtrace(frames, 48);
+        backtrace_symbols_fd(frames, n, 2);
+    }
+#endif
+    throw PanicError(msg);
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vformatMessage(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    throw FatalError(msg);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    if (quiet_flag.load(std::memory_order_relaxed))
+        return;
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vformatMessage(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (quiet_flag.load(std::memory_order_relaxed))
+        return;
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vformatMessage(fmt, ap);
+    va_end(ap);
+    std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+void
+setLogQuiet(bool quiet)
+{
+    quiet_flag.store(quiet, std::memory_order_relaxed);
+}
+
+bool
+logQuiet()
+{
+    return quiet_flag.load(std::memory_order_relaxed);
+}
+
+} // namespace vcp

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Status and error reporting in the gem5 tradition.
+ *
+ * panic()  — an internal invariant was violated; a simulator bug.
+ *            Throws PanicError (tests can catch it; main() aborts).
+ * fatal()  — the user supplied an impossible configuration; the
+ *            simulation cannot continue.  Throws FatalError.
+ * warn()   — something works, but maybe not the way the user hopes.
+ * inform() — plain status output.
+ *
+ * Messages are printf-formatted.  Warnings and informs can be silenced
+ * globally (useful in benchmarks and tests).
+ */
+
+#ifndef VCP_SIM_LOGGING_HH
+#define VCP_SIM_LOGGING_HH
+
+#include <cstdarg>
+#include <stdexcept>
+#include <string>
+
+namespace vcp {
+
+/** Thrown by panic(): an internal simulator invariant was violated. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg)
+        : std::logic_error(msg)
+    {}
+};
+
+/** Thrown by fatal(): the user's configuration is unusable. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/** Format a printf-style message into a std::string. */
+std::string vformatMessage(const char *fmt, std::va_list ap);
+
+/** Report an internal error and throw PanicError. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a user/configuration error and throw FatalError. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Warn the user about questionable but survivable conditions. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Emit an informational status line. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Globally enable/disable warn()/inform() output (default: enabled). */
+void setLogQuiet(bool quiet);
+
+/** @return true when warn()/inform() output is suppressed. */
+bool logQuiet();
+
+} // namespace vcp
+
+#endif // VCP_SIM_LOGGING_HH

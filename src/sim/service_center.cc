@@ -1,0 +1,109 @@
+#include "sim/service_center.hh"
+
+#include "sim/logging.hh"
+
+namespace vcp {
+
+ServiceCenter::ServiceCenter(Simulator &sim_, std::string name,
+                             int servers)
+    : sim(sim_), label(std::move(name)), num_servers(servers)
+{
+    if (num_servers < 1)
+        panic("ServiceCenter %s: need at least one server",
+              label.c_str());
+    created_at = sim.now();
+    last_busy_change = sim.now();
+}
+
+SimDuration
+ServiceCenter::totalBusyTime() const
+{
+    return busy_accum + static_cast<SimDuration>(busy) *
+        (sim.now() - last_busy_change);
+}
+
+double
+ServiceCenter::utilization() const
+{
+    SimDuration elapsed = sim.now() - created_at;
+    if (elapsed <= 0)
+        return 0.0;
+    return static_cast<double>(totalBusyTime()) /
+           (static_cast<double>(elapsed) * num_servers);
+}
+
+void
+ServiceCenter::occupy()
+{
+    busy_accum += static_cast<SimDuration>(busy) *
+        (sim.now() - last_busy_change);
+    last_busy_change = sim.now();
+    ++busy;
+}
+
+void
+ServiceCenter::vacate()
+{
+    if (busy <= 0)
+        panic("ServiceCenter %s: release with no busy server",
+              label.c_str());
+    busy_accum += static_cast<SimDuration>(busy) *
+        (sim.now() - last_busy_change);
+    last_busy_change = sim.now();
+    --busy;
+    ++done_count;
+    drain();
+}
+
+void
+ServiceCenter::drain()
+{
+    while (busy < num_servers && !waiting.empty()) {
+        Pending p = std::move(waiting.front());
+        waiting.pop_front();
+        wait_stats.add(static_cast<double>(sim.now() - p.enqueued));
+        occupy();
+        p.start();
+    }
+}
+
+void
+ServiceCenter::acquire(std::function<void()> granted)
+{
+    if (busy < num_servers && waiting.empty()) {
+        wait_stats.add(0.0);
+        occupy();
+        granted();
+        return;
+    }
+    Pending p;
+    p.enqueued = sim.now();
+    p.start = std::move(granted);
+    waiting.push_back(std::move(p));
+}
+
+void
+ServiceCenter::release()
+{
+    vacate();
+}
+
+void
+ServiceCenter::submit(SimDuration service_time,
+                      std::function<void()> done)
+{
+    if (service_time < 0)
+        panic("ServiceCenter %s: negative service time", label.c_str());
+    acquire([this, service_time, done = std::move(done)]() mutable {
+        sim.schedule(service_time,
+                     [this, done = std::move(done)]() mutable {
+                         // Free the server first so a same-tick waiter
+                         // can start, then run the completion.
+                         release();
+                         if (done)
+                             done();
+                     });
+    });
+}
+
+} // namespace vcp

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * A c-server FIFO service center.
+ *
+ * The building block for every serialized resource in the control
+ * plane: database connections, host-agent op slots, the management
+ * server's dispatch width.  Two usage styles:
+ *
+ *  - submit(service_time, done): classic queued job.
+ *  - acquire(granted) / release(): hold a server token across an
+ *    asynchronous operation (e.g.\ a host-agent slot held while a
+ *    multi-minute disk copy proceeds on the datastore pipe).
+ *
+ * Waiting time and utilization statistics are tracked, which lets the
+ * validation bench compare against analytic M/M/c results.
+ */
+
+#ifndef VCP_SIM_SERVICE_CENTER_HH
+#define VCP_SIM_SERVICE_CENTER_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "sim/simulator.hh"
+#include "sim/types.hh"
+#include "sim/summary.hh"
+
+namespace vcp {
+
+/** FIFO queueing station with a fixed number of servers. */
+class ServiceCenter
+{
+  public:
+    /**
+     * @param sim event kernel.
+     * @param name diagnostics label.
+     * @param servers number of parallel servers (>= 1).
+     */
+    ServiceCenter(Simulator &sim, std::string name, int servers);
+
+    ServiceCenter(const ServiceCenter &) = delete;
+    ServiceCenter &operator=(const ServiceCenter &) = delete;
+
+    /**
+     * Enqueue a job with a known service time; @p done fires when it
+     * completes and its server is freed automatically.
+     */
+    void submit(SimDuration service_time, std::function<void()> done);
+
+    /**
+     * Request a server token; @p granted fires (possibly immediately)
+     * once one is available.  The caller must call release() when the
+     * held work is finished.
+     */
+    void acquire(std::function<void()> granted);
+
+    /** Return a token obtained through acquire(). */
+    void release();
+
+    /** Jobs waiting for a server. */
+    std::size_t queueLength() const { return waiting.size(); }
+
+    /** Servers currently held or executing. */
+    int busyServers() const { return busy; }
+
+    int servers() const { return num_servers; }
+    const std::string &name() const { return label; }
+
+    /** Completed submit() jobs plus released acquire() tokens. */
+    std::uint64_t completed() const { return done_count; }
+
+    /** Aggregate server-busy time (for utilization). */
+    SimDuration totalBusyTime() const;
+
+    /**
+     * Mean utilization over the lifetime so far: busy server-time
+     * divided by (elapsed * servers).
+     */
+    double utilization() const;
+
+    /** Distribution of time spent waiting in queue (microseconds). */
+    const SummaryStats &waitTimes() const { return wait_stats; }
+
+  private:
+    struct Pending
+    {
+        SimTime enqueued = 0;
+        std::function<void()> start;
+    };
+
+    /** Grant servers to waiters while any are free. */
+    void drain();
+
+    /** Internal: mark one server busy. */
+    void occupy();
+
+    /** Internal: mark one server free and drain the queue. */
+    void vacate();
+
+    Simulator &sim;
+    std::string label;
+    int num_servers;
+    int busy = 0;
+    std::deque<Pending> waiting;
+    std::uint64_t done_count = 0;
+    SimTime created_at = 0;
+    SimDuration busy_accum = 0;
+    SimTime last_busy_change = 0;
+    SummaryStats wait_stats;
+};
+
+} // namespace vcp
+
+#endif // VCP_SIM_SERVICE_CENTER_HH

@@ -1,0 +1,58 @@
+#include "sim/simulator.hh"
+
+#include "sim/logging.hh"
+
+namespace vcp {
+
+EventId
+Simulator::schedule(SimDuration delay, std::function<void()> action,
+                    int priority)
+{
+    if (delay < 0)
+        panic("Simulator::schedule: negative delay %lld",
+              static_cast<long long>(delay));
+    return events.push(current + delay, priority, std::move(action));
+}
+
+EventId
+Simulator::scheduleAt(SimTime when, std::function<void()> action,
+                      int priority)
+{
+    if (when < current)
+        panic("Simulator::scheduleAt: time %lld is in the past (now %lld)",
+              static_cast<long long>(when),
+              static_cast<long long>(current));
+    return events.push(when, priority, std::move(action));
+}
+
+void
+Simulator::run()
+{
+    stopping = false;
+    while (!events.empty() && !stopping) {
+        Event ev = events.pop();
+        current = ev.when;
+        ++processed;
+        ev.action();
+    }
+}
+
+void
+Simulator::runUntil(SimTime until)
+{
+    if (until < current)
+        panic("Simulator::runUntil: target %lld is in the past (now %lld)",
+              static_cast<long long>(until),
+              static_cast<long long>(current));
+    stopping = false;
+    while (!events.empty() && !stopping && events.nextTime() <= until) {
+        Event ev = events.pop();
+        current = ev.when;
+        ++processed;
+        ev.action();
+    }
+    if (!stopping)
+        current = until;
+}
+
+} // namespace vcp

@@ -1,0 +1,76 @@
+#include "sim/summary.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace vcp {
+
+void
+SummaryStats::add(double x)
+{
+    ++n;
+    total += x;
+    double delta = x - running_mean;
+    running_mean += delta / static_cast<double>(n);
+    m2 += delta * (x - running_mean);
+    minimum = std::min(minimum, x);
+    maximum = std::max(maximum, x);
+}
+
+void
+SummaryStats::merge(const SummaryStats &other)
+{
+    if (other.n == 0)
+        return;
+    if (n == 0) {
+        *this = other;
+        return;
+    }
+    // Chan et al. parallel-variance merge.
+    double delta = other.running_mean - running_mean;
+    std::uint64_t combined = n + other.n;
+    double nf = static_cast<double>(n);
+    double mf = static_cast<double>(other.n);
+    double cf = static_cast<double>(combined);
+    running_mean += delta * (mf / cf);
+    m2 += other.m2 + delta * delta * nf * mf / cf;
+    total += other.total;
+    minimum = std::min(minimum, other.minimum);
+    maximum = std::max(maximum, other.maximum);
+    n = combined;
+}
+
+double
+SummaryStats::variance() const
+{
+    if (n < 2)
+        return 0.0;
+    return m2 / static_cast<double>(n - 1);
+}
+
+double
+SummaryStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+SummaryStats::cv() const
+{
+    double m = mean();
+    return m != 0.0 ? stddev() / m : 0.0;
+}
+
+std::string
+SummaryStats::toString() const
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "n=%llu mean=%.4g sd=%.4g min=%.4g max=%.4g",
+                  static_cast<unsigned long long>(n), mean(), stddev(),
+                  n ? minimum : 0.0, n ? maximum : 0.0);
+    return buf;
+}
+
+} // namespace vcp

@@ -1,0 +1,59 @@
+#include "sim/types.hh"
+
+#include <cstdio>
+
+namespace vcp {
+
+std::string
+formatTime(SimTime t)
+{
+    bool neg = t < 0;
+    if (neg)
+        t = -t;
+    std::int64_t total_us = t;
+    std::int64_t d = total_us / days(1);
+    total_us %= days(1);
+    std::int64_t h = total_us / hours(1);
+    total_us %= hours(1);
+    std::int64_t m = total_us / minutes(1);
+    total_us %= minutes(1);
+    double s = static_cast<double>(total_us) / 1e6;
+
+    char buf[64];
+    if (d > 0) {
+        std::snprintf(buf, sizeof(buf), "%s%lldd%02lldh%02lldm%06.3fs",
+                      neg ? "-" : "", static_cast<long long>(d),
+                      static_cast<long long>(h), static_cast<long long>(m),
+                      s);
+    } else if (h > 0) {
+        std::snprintf(buf, sizeof(buf), "%s%lldh%02lldm%06.3fs",
+                      neg ? "-" : "", static_cast<long long>(h),
+                      static_cast<long long>(m), s);
+    } else if (m > 0) {
+        std::snprintf(buf, sizeof(buf), "%s%lldm%06.3fs",
+                      neg ? "-" : "", static_cast<long long>(m), s);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%s%.3fs", neg ? "-" : "", s);
+    }
+    return buf;
+}
+
+std::string
+formatBytes(Bytes b)
+{
+    const char *units[] = {"B", "KiB", "MiB", "GiB", "TiB", "PiB"};
+    double v = static_cast<double>(b);
+    int u = 0;
+    while (v >= 1024.0 && u < 5) {
+        v /= 1024.0;
+        ++u;
+    }
+    char buf[32];
+    if (u == 0)
+        std::snprintf(buf, sizeof(buf), "%lld B", static_cast<long long>(b));
+    else
+        std::snprintf(buf, sizeof(buf), "%.2f %s", v, units[u]);
+    return buf;
+}
+
+} // namespace vcp

@@ -1,0 +1,155 @@
+#include "stats/registry.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace vcp {
+
+Counter &
+StatRegistry::counter(const std::string &name)
+{
+    return counters[name];
+}
+
+Gauge &
+StatRegistry::gauge(const std::string &name)
+{
+    return gauges[name];
+}
+
+Histogram &
+StatRegistry::histogram(const std::string &name, double min_value,
+                        double growth)
+{
+    auto it = histograms.find(name);
+    if (it == histograms.end()) {
+        it = histograms
+                 .emplace(name,
+                          std::make_unique<Histogram>(min_value, growth))
+                 .first;
+    }
+    return *it->second;
+}
+
+SummaryStats &
+StatRegistry::summary(const std::string &name)
+{
+    return summaries[name];
+}
+
+bool
+StatRegistry::has(const std::string &name) const
+{
+    return counters.count(name) || gauges.count(name) ||
+           histograms.count(name) || summaries.count(name);
+}
+
+std::vector<std::string>
+StatRegistry::names() const
+{
+    std::vector<std::string> out;
+    for (const auto &kv : counters)
+        out.push_back(kv.first);
+    for (const auto &kv : gauges)
+        out.push_back(kv.first);
+    for (const auto &kv : histograms)
+        out.push_back(kv.first);
+    for (const auto &kv : summaries)
+        out.push_back(kv.first);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+void
+StatRegistry::resetAll()
+{
+    for (auto &kv : counters)
+        kv.second.reset();
+    for (auto &kv : gauges)
+        kv.second.reset();
+    for (auto &kv : histograms)
+        kv.second->reset();
+    for (auto &kv : summaries)
+        kv.second.reset();
+}
+
+std::string
+StatRegistry::toCsv() const
+{
+    std::string out = "name,kind,field,value\n";
+    char line[256];
+    for (const auto &kv : counters) {
+        std::snprintf(line, sizeof(line), "%s,counter,value,%llu\n",
+                      kv.first.c_str(),
+                      static_cast<unsigned long long>(kv.second.value()));
+        out += line;
+    }
+    for (const auto &kv : gauges) {
+        std::snprintf(line, sizeof(line), "%s,gauge,value,%.6g\n",
+                      kv.first.c_str(), kv.second.value());
+        out += line;
+    }
+    for (const auto &kv : histograms) {
+        const Histogram &h = *kv.second;
+        const struct { const char *f; double v; } fields[] = {
+            {"count", static_cast<double>(h.count())},
+            {"mean", h.mean()},
+            {"p50", h.p50()},
+            {"p95", h.p95()},
+            {"p99", h.p99()},
+            {"max", h.count() ? h.max() : 0.0},
+        };
+        for (const auto &f : fields) {
+            std::snprintf(line, sizeof(line), "%s,histogram,%s,%.6g\n",
+                          kv.first.c_str(), f.f, f.v);
+            out += line;
+        }
+    }
+    for (const auto &kv : summaries) {
+        const SummaryStats &s = kv.second;
+        const struct { const char *f; double v; } fields[] = {
+            {"count", static_cast<double>(s.count())},
+            {"mean", s.mean()},
+            {"stddev", s.stddev()},
+            {"min", s.count() ? s.min() : 0.0},
+            {"max", s.count() ? s.max() : 0.0},
+        };
+        for (const auto &f : fields) {
+            std::snprintf(line, sizeof(line), "%s,summary,%s,%.6g\n",
+                          kv.first.c_str(), f.f, f.v);
+            out += line;
+        }
+    }
+    return out;
+}
+
+std::string
+StatRegistry::toString() const
+{
+    std::string out;
+    char line[320];
+    for (const auto &kv : counters) {
+        std::snprintf(line, sizeof(line), "%-48s %llu\n",
+                      kv.first.c_str(),
+                      static_cast<unsigned long long>(kv.second.value()));
+        out += line;
+    }
+    for (const auto &kv : gauges) {
+        std::snprintf(line, sizeof(line), "%-48s %.6g\n",
+                      kv.first.c_str(), kv.second.value());
+        out += line;
+    }
+    for (const auto &kv : histograms) {
+        std::snprintf(line, sizeof(line), "%-48s %s\n", kv.first.c_str(),
+                      kv.second->toString().c_str());
+        out += line;
+    }
+    for (const auto &kv : summaries) {
+        std::snprintf(line, sizeof(line), "%-48s %s\n", kv.first.c_str(),
+                      kv.second.toString().c_str());
+        out += line;
+    }
+    return out;
+}
+
+} // namespace vcp

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Named statistics registry.
+ *
+ * Components register counters, gauges, and histograms under
+ * hierarchical dotted names ("controlplane.db.write_latency_ms").
+ * The registry owns the storage; callers keep cheap handles.  A dump
+ * renders everything to CSV or a human-readable listing.
+ */
+
+#ifndef VCP_STATS_REGISTRY_HH
+#define VCP_STATS_REGISTRY_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "stats/histogram.hh"
+#include "sim/summary.hh"
+
+namespace vcp {
+
+/** Monotonically increasing event counter. */
+class Counter
+{
+  public:
+    void inc(std::uint64_t by = 1) { val += by; }
+    std::uint64_t value() const { return val; }
+    void reset() { val = 0; }
+
+  private:
+    std::uint64_t val = 0;
+};
+
+/** Instantaneous level (queue depth, in-flight ops, ...). */
+class Gauge
+{
+  public:
+    void set(double v) { val = v; }
+    void add(double delta) { val += delta; }
+    double value() const { return val; }
+    void reset() { val = 0.0; }
+
+  private:
+    double val = 0.0;
+};
+
+/** Owner of all named statistics for one simulation. */
+class StatRegistry
+{
+  public:
+    StatRegistry() = default;
+    StatRegistry(const StatRegistry &) = delete;
+    StatRegistry &operator=(const StatRegistry &) = delete;
+
+    /** Get or create the counter with the given dotted name. */
+    Counter &counter(const std::string &name);
+
+    /** Get or create the gauge with the given dotted name. */
+    Gauge &gauge(const std::string &name);
+
+    /**
+     * Get or create a histogram.  Creation parameters are only used
+     * the first time a name is seen.
+     */
+    Histogram &histogram(const std::string &name, double min_value = 1.0,
+                         double growth = 1.15);
+
+    /** Get or create a summary accumulator. */
+    SummaryStats &summary(const std::string &name);
+
+    /** True if any stat with this exact name exists. */
+    bool has(const std::string &name) const;
+
+    /** All registered names, sorted. */
+    std::vector<std::string> names() const;
+
+    /** Reset every stat to its empty state. */
+    void resetAll();
+
+    /**
+     * Render all stats as CSV lines "name,kind,field,value".
+     * Histograms expand into count/mean/p50/p95/p99/max rows.
+     */
+    std::string toCsv() const;
+
+    /** Render a human-readable listing, one stat per line. */
+    std::string toString() const;
+
+  private:
+    std::map<std::string, Counter> counters;
+    std::map<std::string, Gauge> gauges;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms;
+    std::map<std::string, SummaryStats> summaries;
+};
+
+} // namespace vcp
+
+#endif // VCP_STATS_REGISTRY_HH

@@ -1,0 +1,60 @@
+#include "stats/timeseries.hh"
+
+#include <cstdio>
+
+#include "sim/logging.hh"
+
+namespace vcp {
+
+TimeSeries::TimeSeries(SimDuration bucket_width)
+    : width(bucket_width)
+{
+    if (width <= 0)
+        panic("TimeSeries: bucket width must be positive");
+}
+
+void
+TimeSeries::add(SimTime t, double value)
+{
+    if (t < 0)
+        panic("TimeSeries::add: negative time");
+    std::size_t idx = static_cast<std::size_t>(t / width);
+    if (idx >= buckets.size()) {
+        std::size_t old = buckets.size();
+        buckets.resize(idx + 1);
+        for (std::size_t i = old; i < buckets.size(); ++i)
+            buckets[i].start = static_cast<SimTime>(i) * width;
+    }
+    buckets[idx].count += 1;
+    buckets[idx].sum += value;
+    total_sum += value;
+    total_count += 1;
+}
+
+std::vector<double>
+TimeSeries::ratesPerSecond() const
+{
+    std::vector<double> rates;
+    rates.reserve(buckets.size());
+    double wsec = toSeconds(width);
+    for (const auto &b : buckets)
+        rates.push_back(static_cast<double>(b.count) / wsec);
+    return rates;
+}
+
+std::string
+TimeSeries::toCsv() const
+{
+    std::string out = "bucket_start_s,count,sum,mean\n";
+    char line[128];
+    for (const auto &b : buckets) {
+        std::snprintf(line, sizeof(line), "%.1f,%llu,%.6g,%.6g\n",
+                      toSeconds(b.start),
+                      static_cast<unsigned long long>(b.count), b.sum,
+                      b.mean());
+        out += line;
+    }
+    return out;
+}
+
+} // namespace vcp

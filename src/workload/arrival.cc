@@ -1,0 +1,74 @@
+#include "workload/arrival.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace vcp {
+
+ArrivalModel::ArrivalModel(const ArrivalConfig &cfg_, Rng rng_)
+    : cfg(cfg_), rng(rng_)
+{
+    if (cfg.rate_per_hour <= 0.0)
+        fatal("ArrivalModel: rate_per_hour must be positive");
+    if (cfg.diurnal &&
+        (cfg.diurnal_amplitude < 0.0 || cfg.diurnal_amplitude >= 1.0)) {
+        fatal("ArrivalModel: diurnal_amplitude must be in [0, 1)");
+    }
+    if (cfg.cv < 1.0)
+        fatal("ArrivalModel: cv must be >= 1 (got %f)", cfg.cv);
+    if (cfg.cv > 1.0) {
+        // Balanced-means two-branch hyper-exponential with unit mean
+        // and the requested squared CV.
+        double c2 = cfg.cv * cfg.cv;
+        h2_p = 0.5 * (1.0 + std::sqrt((c2 - 1.0) / (c2 + 1.0)));
+        h2_m1 = 1.0 / (2.0 * h2_p);
+        h2_m2 = 1.0 / (2.0 * (1.0 - h2_p));
+    }
+}
+
+double
+ArrivalModel::rateAt(SimTime t) const
+{
+    if (!cfg.diurnal)
+        return cfg.rate_per_hour;
+    double hour = toHours(t);
+    double phase = 2.0 * M_PI * (hour - cfg.peak_hour) / 24.0;
+    return cfg.rate_per_hour *
+           (1.0 + cfg.diurnal_amplitude * std::cos(phase));
+}
+
+double
+ArrivalModel::sampleGapSeconds(double rate_per_sec)
+{
+    double mean = 1.0 / rate_per_sec;
+    if (cfg.cv <= 1.0)
+        return rng.exponential(mean);
+    // Unit-mean H2 gap scaled to the requested mean.
+    double unit = rng.bernoulli(h2_p) ? rng.exponential(h2_m1)
+                                      : rng.exponential(h2_m2);
+    return unit * mean;
+}
+
+SimDuration
+ArrivalModel::nextDelay(SimTime now)
+{
+    // Thinning against the envelope rate.  (With cv > 1 this thins a
+    // bursty renewal process rather than a true NHPP — deliberate:
+    // bursts survive the day-curve modulation.)
+    double max_rate_sec =
+        cfg.rate_per_hour * (1.0 + (cfg.diurnal
+                                        ? cfg.diurnal_amplitude
+                                        : 0.0)) / 3600.0;
+    double elapsed = 0.0;
+    for (int guard = 0; guard < 100000; ++guard) {
+        elapsed += sampleGapSeconds(max_rate_sec);
+        SimTime cand = now + seconds(elapsed);
+        double accept = rateAt(cand) / (max_rate_sec * 3600.0);
+        if (rng.uniform() < accept)
+            return seconds(elapsed);
+    }
+    panic("ArrivalModel: thinning failed to accept");
+}
+
+} // namespace vcp

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Arrival-process models for cloud actions.
+ *
+ * Self-service clouds show strongly diurnal demand with bursty
+ * sub-structure.  The model is a non-homogeneous Poisson process
+ * (sinusoidal day curve, sampled by thinning) whose interarrival
+ * times can additionally be made hyper-exponential to raise the
+ * coefficient of variation above 1.
+ */
+
+#ifndef VCP_WORKLOAD_ARRIVAL_HH
+#define VCP_WORKLOAD_ARRIVAL_HH
+
+#include "sim/random.hh"
+#include "sim/types.hh"
+
+namespace vcp {
+
+/** Parameters of the arrival process. */
+struct ArrivalConfig
+{
+    /** Mean action rate (actions per hour of simulated time). */
+    double rate_per_hour = 60.0;
+
+    /** Enable the sinusoidal day curve. */
+    bool diurnal = false;
+
+    /**
+     * Peak-to-mean modulation in [0, 1): rate(t) spans
+     * mean*(1 - amplitude) .. mean*(1 + amplitude).
+     */
+    double diurnal_amplitude = 0.8;
+
+    /** Hour of day (0-24) at which the rate peaks. */
+    double peak_hour = 14.0;
+
+    /**
+     * Coefficient of variation of interarrivals; 1 is Poisson,
+     * larger is burstier (balanced-means H2 thinning).
+     */
+    double cv = 1.0;
+};
+
+/** Samples interarrival gaps for a (possibly time-varying) process. */
+class ArrivalModel
+{
+  public:
+    /** @param cfg parameters; @param rng private stream. */
+    ArrivalModel(const ArrivalConfig &cfg, Rng rng);
+
+    /**
+     * Next interarrival delay given the current simulated time
+     * (which the diurnal curve depends on).
+     */
+    SimDuration nextDelay(SimTime now);
+
+    /** Instantaneous rate (actions/hour) at a simulated time. */
+    double rateAt(SimTime t) const;
+
+    const ArrivalConfig &config() const { return cfg; }
+
+  private:
+    /** One base gap with the configured CV (unit handled inside). */
+    double sampleGapSeconds(double rate_per_sec);
+
+    ArrivalConfig cfg;
+    Rng rng;
+
+    /** Hyper-exponential branch parameters (balanced means). */
+    double h2_p = 0.5;
+    double h2_m1 = 1.0;
+    double h2_m2 = 1.0;
+};
+
+} // namespace vcp
+
+#endif // VCP_WORKLOAD_ARRIVAL_HH

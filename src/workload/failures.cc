@@ -1,0 +1,74 @@
+#include "workload/failures.hh"
+
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace vcp {
+
+FailureInjector::FailureInjector(HaManager &ha_,
+                                 const FailureConfig &cfg_, Rng rng_)
+    : ha(ha_), inv(ha_.inventory()), sim(ha_.simulator()),
+      cfg(cfg_), rng(rng_)
+{}
+
+void
+FailureInjector::start()
+{
+    if (cfg.mtbf <= 0)
+        return;
+    running = true;
+    scheduleNext();
+}
+
+void
+FailureInjector::scheduleNext()
+{
+    SimDuration gap = static_cast<SimDuration>(
+        rng.exponential(static_cast<double>(cfg.mtbf)));
+    sim.schedule(gap, [this] {
+        if (!running)
+            return;
+        fire();
+        scheduleNext();
+    });
+}
+
+HostId
+FailureInjector::pickVictim()
+{
+    std::vector<HostId> candidates;
+    for (HostId h : inv.hostIds()) {
+        const Host &host = inv.host(h);
+        if (host.connected() && !host.inMaintenance() &&
+            !ha.isCrashed(h)) {
+            candidates.push_back(h);
+        }
+    }
+    if (candidates.empty())
+        return HostId();
+    std::size_t i = static_cast<std::size_t>(rng.uniformInt(
+        0, static_cast<std::int64_t>(candidates.size()) - 1));
+    return candidates[i];
+}
+
+void
+FailureInjector::fire()
+{
+    HostId victim = pickVictim();
+    if (!victim.valid())
+        return;
+    ha.crashHost(victim);
+    ++outage_count;
+
+    SimDuration outage = static_cast<SimDuration>(
+        rng.exponential(static_cast<double>(cfg.outage_mean)));
+    sim.schedule(outage, [this, victim] {
+        ha.recoverHost(victim, [this](bool ok) {
+            if (ok)
+                ++recovery_count;
+        });
+    });
+}
+
+} // namespace vcp

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Failure injector: random host outages against a running cloud.
+ *
+ * Outage arrivals are Poisson across the whole plant (mean time
+ * between failures), outage durations are exponential, and recovery
+ * runs the HA boot-storm workflow.  NOTE: the injector re-arms
+ * itself indefinitely — drive such simulations with runUntil().
+ */
+
+#ifndef VCP_WORKLOAD_FAILURES_HH
+#define VCP_WORKLOAD_FAILURES_HH
+
+#include <cstdint>
+
+#include "cloud/ha_manager.hh"
+#include "sim/random.hh"
+
+namespace vcp {
+
+/** Failure-injection parameters. */
+struct FailureConfig
+{
+    /** Mean time between host failures, cloud-wide; <= 0 disables. */
+    SimDuration mtbf = hours(12);
+
+    /** Mean outage duration before recovery begins. */
+    SimDuration outage_mean = minutes(15);
+};
+
+/** Drives random host crash/recovery cycles through an HaManager. */
+class FailureInjector
+{
+  public:
+    /**
+     * @param ha crash/recovery workflows.
+     * @param cfg failure parameters.
+     * @param rng private random stream.
+     */
+    FailureInjector(HaManager &ha, const FailureConfig &cfg, Rng rng);
+
+    FailureInjector(const FailureInjector &) = delete;
+    FailureInjector &operator=(const FailureInjector &) = delete;
+
+    /** Arm the injector (schedules the first failure). */
+    void start();
+
+    /** Stop scheduling further failures (in-flight ones complete). */
+    void stop() { running = false; }
+
+    std::uint64_t outages() const { return outage_count; }
+    std::uint64_t recoveries() const { return recovery_count; }
+
+  private:
+    void scheduleNext();
+    void fire();
+
+    /** Pick a random connected, non-crashed host; invalid if none. */
+    HostId pickVictim();
+
+    HaManager &ha;
+    Inventory &inv;
+    Simulator &sim;
+    FailureConfig cfg;
+    Rng rng;
+    bool running = false;
+    std::uint64_t outage_count = 0;
+    std::uint64_t recovery_count = 0;
+};
+
+} // namespace vcp
+
+#endif // VCP_WORKLOAD_FAILURES_HH

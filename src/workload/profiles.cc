@@ -1,0 +1,145 @@
+#include "workload/profiles.hh"
+
+#include "sim/logging.hh"
+
+namespace vcp {
+
+CloudSetupSpec
+cloudASpec()
+{
+    CloudSetupSpec s;
+    s.name = "cloud-a-devtest";
+
+    s.infra.hosts = 64;
+    s.infra.host.cores = 16;
+    s.infra.host.mhz_per_core = 2600.0;
+    s.infra.host.memory = gib(128);
+    s.infra.datastores = 8;
+    s.infra.ds_capacity = gib(4096);
+    s.infra.ds_copy_bandwidth = 200.0 * 1024 * 1024;
+
+    for (int i = 0; i < 16; ++i) {
+        TenantConfig t;
+        t.name = "org-a" + std::to_string(i);
+        t.vm_quota = 400;
+        s.tenants.push_back(t);
+    }
+
+    s.templates = {
+        {"lin-small", gib(8), 0.5, 1, gib(2), 2, hours(8)},
+        {"lin-large", gib(16), 0.6, 2, gib(4), 3, hours(8)},
+        {"win-dev", gib(24), 0.5, 2, gib(4), 1, hours(24)},
+        {"ci-stack", gib(8), 0.4, 1, gib(2), 4, hours(4)},
+    };
+
+    s.director.use_linked_clones = true;
+    s.director.pool.aggressive = true;
+    s.director.pool.replication_factor = 2;
+    s.director.pool.max_clones_per_base = 32;
+
+    s.workload.duration = hours(24);
+    s.workload.arrival.rate_per_hour = 120.0;
+    s.workload.arrival.diurnal = true;
+    s.workload.arrival.diurnal_amplitude = 0.8;
+    s.workload.arrival.cv = 2.0;
+    s.workload.tenant_zipf_s = 1.0;
+    return s;
+}
+
+CloudSetupSpec
+cloudBSpec()
+{
+    CloudSetupSpec s;
+    s.name = "cloud-b-saas";
+
+    s.infra.hosts = 128;
+    s.infra.host.cores = 24;
+    s.infra.host.mhz_per_core = 2400.0;
+    s.infra.host.memory = gib(192);
+    s.infra.datastores = 16;
+    s.infra.ds_capacity = gib(8192);
+    s.infra.ds_copy_bandwidth = 300.0 * 1024 * 1024;
+
+    for (int i = 0; i < 8; ++i) {
+        TenantConfig t;
+        t.name = "org-b" + std::to_string(i);
+        t.vm_quota = 900;
+        s.tenants.push_back(t);
+    }
+
+    s.templates = {
+        {"app-tier", gib(32), 0.6, 4, gib(8), 3, hours(72)},
+        {"db-tier", gib(64), 0.7, 8, gib(16), 1, hours(168)},
+    };
+
+    s.director.use_linked_clones = true;
+    s.director.pool.aggressive = false; // lazy: the Cloud B pain point
+    s.director.pool.replication_factor = 1;
+    s.director.pool.max_clones_per_base = 48;
+
+    s.workload.duration = hours(24);
+    s.workload.arrival.rate_per_hour = 40.0;
+    s.workload.arrival.diurnal = true;
+    s.workload.arrival.diurnal_amplitude = 0.4;
+    s.workload.arrival.cv = 1.2;
+    s.workload.tenant_zipf_s = 0.6;
+    // Steadier population: fewer deploys, more day-2 operations.
+    s.workload.action_weights = {15.0, 4.0, 35.0, 18.0,
+                                 10.0, 8.0,  10.0};
+    return s;
+}
+
+CloudSimulation::CloudSimulation(const CloudSetupSpec &spec,
+                                 std::uint64_t seed)
+    : spec_(spec), sim_(seed), inv_(sim_),
+      net_(sim_, spec.infra.network),
+      srv_(sim_, inv_, net_, stats_, spec.server),
+      cloud_(srv_, spec.director)
+{
+    if (spec_.infra.hosts < 1 || spec_.infra.datastores < 1)
+        fatal("CloudSimulation: need at least one host and datastore");
+
+    // Shared-storage cluster: every host sees every datastore.
+    for (int d = 0; d < spec_.infra.datastores; ++d) {
+        DatastoreConfig dc;
+        dc.name = "ds" + std::to_string(d);
+        dc.capacity = spec_.infra.ds_capacity;
+        dc.copy_bandwidth = spec_.infra.ds_copy_bandwidth;
+        ds_ids.push_back(inv_.addDatastore(dc));
+    }
+    ClusterId cluster = inv_.addCluster(spec_.name + "-cluster");
+    for (int h = 0; h < spec_.infra.hosts; ++h) {
+        HostConfig hc = spec_.infra.host;
+        hc.name = "host" + std::to_string(h);
+        HostId id = inv_.addHost(hc);
+        inv_.assignHostToCluster(id, cluster);
+        for (DatastoreId ds : ds_ids)
+            inv_.connectHostToDatastore(id, ds);
+        host_ids.push_back(id);
+    }
+
+    for (const TenantConfig &t : spec_.tenants)
+        tenant_ids.push_back(cloud_.addTenant(t));
+
+    // Seed template golden masters round-robin across datastores.
+    std::size_t ds_cursor = 0;
+    for (const TemplateSpec &t : spec_.templates) {
+        DatastoreId ds = ds_ids[ds_cursor++ % ds_ids.size()];
+        template_ids.push_back(cloud_.createTemplate(
+            t.name, ds, t.disk, t.fill, t.vcpus, t.memory, t.vm_count,
+            t.lease));
+    }
+
+    driver_ = std::make_unique<WorkloadDriver>(
+        cloud_, spec_.workload, sim_.rng().fork());
+}
+
+void
+CloudSimulation::run(SimDuration drain)
+{
+    SimTime end = sim_.now() + spec_.workload.duration + drain;
+    driver_->start();
+    sim_.runUntil(end);
+}
+
+} // namespace vcp

@@ -1,0 +1,197 @@
+#include "workload/trace.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace vcp {
+
+std::string
+ActionTrace::toCsv() const
+{
+    std::string out = "time_us,action,tenant,template\n";
+    char line[128];
+    for (const auto &r : records) {
+        std::snprintf(line, sizeof(line), "%lld,%s,%d,%d\n",
+                      static_cast<long long>(r.time),
+                      cloudActionName(r.action), r.tenant_index,
+                      r.template_index);
+        out += line;
+    }
+    return out;
+}
+
+namespace {
+
+/** Split one CSV line at commas (no quoting in our traces). */
+std::vector<std::string>
+splitCsvLine(const std::string &line)
+{
+    std::vector<std::string> fields;
+    std::string cur;
+    for (char c : line) {
+        if (c == ',') {
+            fields.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    fields.push_back(cur);
+    return fields;
+}
+
+} // namespace
+
+ActionTrace
+ActionTrace::fromCsv(const std::string &csv)
+{
+    ActionTrace trace;
+    std::istringstream in(csv);
+    std::string line;
+    bool first = true;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        if (first) {
+            first = false;
+            continue; // header
+        }
+        auto f = splitCsvLine(line);
+        if (f.size() != 4)
+            fatal("ActionTrace::fromCsv: malformed line '%s'",
+                  line.c_str());
+        ActionRecord r;
+        r.time = std::strtoll(f[0].c_str(), nullptr, 10);
+        r.action = cloudActionFromName(f[1]);
+        if (r.action == CloudAction::NumActions)
+            fatal("ActionTrace::fromCsv: unknown action '%s'",
+                  f[1].c_str());
+        r.tenant_index = std::atoi(f[2].c_str());
+        r.template_index = std::atoi(f[3].c_str());
+        trace.add(r);
+    }
+    return trace;
+}
+
+void
+OpTrace::add(const Task &t)
+{
+    OpRecord r;
+    r.submitted = t.submittedAt();
+    r.type = t.type();
+    r.latency = t.latency();
+    r.success = t.succeeded();
+    r.error = t.error();
+    for (std::size_t p = 0; p < kNumTaskPhases; ++p)
+        r.phases[p] = t.phaseTime(static_cast<TaskPhase>(p));
+    records.push_back(r);
+}
+
+std::array<std::uint64_t, kNumOpTypes>
+OpTrace::countsByType() const
+{
+    std::array<std::uint64_t, kNumOpTypes> counts{};
+    for (const auto &r : records)
+        counts[static_cast<std::size_t>(r.type)] += 1;
+    return counts;
+}
+
+std::array<std::uint64_t, kNumOpCategories>
+OpTrace::countsByCategory() const
+{
+    std::array<std::uint64_t, kNumOpCategories> counts{};
+    for (const auto &r : records)
+        counts[static_cast<std::size_t>(opCategory(r.type))] += 1;
+    return counts;
+}
+
+double
+OpTrace::meanLatency(OpType t) const
+{
+    double sum = 0.0;
+    std::uint64_t n = 0;
+    for (const auto &r : records) {
+        if (r.type == t && r.success) {
+            sum += static_cast<double>(r.latency);
+            ++n;
+        }
+    }
+    return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+std::string
+OpTrace::toCsv() const
+{
+    std::string out = "submitted_us,op,latency_us,success,error";
+    for (std::size_t p = 0; p < kNumTaskPhases; ++p) {
+        out += ",";
+        out += taskPhaseName(static_cast<TaskPhase>(p));
+        out += "_us";
+    }
+    out += "\n";
+    char line[384];
+    for (const auto &r : records) {
+        int n = std::snprintf(line, sizeof(line), "%lld,%s,%lld,%d,%s",
+                              static_cast<long long>(r.submitted),
+                              opTypeName(r.type),
+                              static_cast<long long>(r.latency),
+                              r.success ? 1 : 0,
+                              taskErrorName(r.error));
+        out.append(line, static_cast<std::size_t>(n));
+        for (std::size_t p = 0; p < kNumTaskPhases; ++p) {
+            n = std::snprintf(line, sizeof(line), ",%lld",
+                              static_cast<long long>(r.phases[p]));
+            out.append(line, static_cast<std::size_t>(n));
+        }
+        out += "\n";
+    }
+    return out;
+}
+
+OpTrace
+OpTrace::fromCsv(const std::string &csv)
+{
+    OpTrace trace;
+    std::istringstream in(csv);
+    std::string line;
+    bool first = true;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        if (first) {
+            first = false;
+            continue;
+        }
+        auto f = splitCsvLine(line);
+        if (f.size() != 5 + kNumTaskPhases)
+            fatal("OpTrace::fromCsv: malformed line '%s'",
+                  line.c_str());
+        OpRecord r;
+        r.submitted = std::strtoll(f[0].c_str(), nullptr, 10);
+        r.type = opTypeFromName(f[1]);
+        if (r.type == OpType::NumOpTypes)
+            fatal("OpTrace::fromCsv: unknown op '%s'", f[1].c_str());
+        r.latency = std::strtoll(f[2].c_str(), nullptr, 10);
+        r.success = f[3] == "1";
+        r.error = TaskError::None;
+        for (int e = 0;
+             e <= static_cast<int>(TaskError::RateLimited); ++e) {
+            if (f[4] == taskErrorName(static_cast<TaskError>(e))) {
+                r.error = static_cast<TaskError>(e);
+                break;
+            }
+        }
+        for (std::size_t p = 0; p < kNumTaskPhases; ++p) {
+            r.phases[p] =
+                std::strtoll(f[5 + p].c_str(), nullptr, 10);
+        }
+        trace.records.push_back(r);
+    }
+    return trace;
+}
+
+} // namespace vcp

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Shared fixture for cloud-layer tests: a small CloudSimulation
+ * (4 hosts, 2 datastores, 2 tenants, 1 template) with helpers for
+ * synchronous deploys.
+ */
+
+#ifndef VCP_TESTS_CLOUD_FIXTURE_HH
+#define VCP_TESTS_CLOUD_FIXTURE_HH
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+
+#include "workload/profiles.hh"
+
+namespace vcp {
+
+class CloudFixture : public ::testing::Test
+{
+  protected:
+    CloudFixture() { build(makeSpec()); }
+
+    static CloudSetupSpec
+    makeSpec()
+    {
+        CloudSetupSpec s;
+        s.name = "test-cloud";
+        s.infra.hosts = 4;
+        s.infra.host.cores = 16;
+        s.infra.host.memory = gib(64);
+        s.infra.datastores = 2;
+        s.infra.ds_capacity = gib(256);
+        s.infra.ds_copy_bandwidth = 100.0 * 1024 * 1024;
+
+        TenantConfig t;
+        t.name = "org0";
+        t.vm_quota = 20;
+        s.tenants.push_back(t);
+        t.name = "org1";
+        t.vm_quota = 20;
+        s.tenants.push_back(t);
+
+        s.templates = {
+            {"tmpl", gib(8), 0.5, 1, gib(2), 2, hours(8)},
+        };
+        s.director.pool.max_clones_per_base = 32;
+        s.workload.duration = hours(1);
+        return s;
+    }
+
+    void
+    build(const CloudSetupSpec &spec)
+    {
+        cs = std::make_unique<CloudSimulation>(spec, /*seed=*/7);
+    }
+
+    CloudDirector &cloud() { return cs->cloud(); }
+    Inventory &inv() { return cs->inventory(); }
+    Simulator &sim() { return cs->sim(); }
+    ManagementServer &srv() { return cs->server(); }
+
+    /**
+     * Run the simulation for a bounded window (in-flight operations
+     * complete in well under this).  Unlike Simulator::run(), this
+     * terminates even with recurring events armed (aggressive pool
+     * scans) or far-future lease expirations pending.
+     */
+    void drain(SimDuration window = minutes(30))
+    {
+        sim().runUntil(sim().now() + window);
+    }
+
+    TenantId tenant0() { return cs->tenantIds()[0]; }
+    TenantId tenant1() { return cs->tenantIds()[1]; }
+    TemplateId tmpl() { return cs->templateIds()[0]; }
+
+    /** Deploy synchronously; returns the terminal-state vApp. */
+    std::optional<VApp>
+    deploy(TenantId tenant, bool linked = true)
+    {
+        DeployRequest req;
+        req.tenant = tenant;
+        req.tmpl = tmpl();
+        req.linked = linked;
+        std::optional<VApp> result;
+        VAppId id =
+            cloud().deployVApp(req, [&](const VApp &va) { result = va; });
+        if (!id.valid())
+            return std::nullopt;
+        drain();
+        EXPECT_TRUE(result.has_value());
+        return result;
+    }
+
+    /** Undeploy synchronously. */
+    bool
+    undeploy(VAppId id)
+    {
+        bool done = false;
+        bool ok = cloud().undeployVApp(
+            id, [&](const VApp &) { done = true; });
+        if (!ok)
+            return false;
+        drain();
+        EXPECT_TRUE(done);
+        return true;
+    }
+
+    std::unique_ptr<CloudSimulation> cs;
+};
+
+} // namespace vcp
+
+#endif // VCP_TESTS_CLOUD_FIXTURE_HH

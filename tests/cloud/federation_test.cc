@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Tests for the control-plane federation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cloud/federation.hh"
+#include "sim/logging.hh"
+
+namespace vcp {
+namespace {
+
+FederationConfig
+smallFederation(int shards)
+{
+    FederationConfig cfg;
+    cfg.shards = shards;
+    cfg.hosts_per_shard = 2;
+    cfg.host.cores = 16;
+    cfg.host.memory = gib(64);
+    cfg.datastores_per_shard = 1;
+    cfg.datastore.capacity = gib(256);
+    return cfg;
+}
+
+class FederationTest : public ::testing::Test
+{
+  protected:
+    FederationTest()
+        : sim(11), fed(sim, stats, smallFederation(3))
+    {
+        tenant = fed.addTenant({"org", 0});
+        tmpl = fed.createTemplate("tmpl", gib(4), 0.5, 1, gib(1), 1,
+                                  hours(24));
+    }
+
+    Simulator sim;
+    StatRegistry stats;
+    CloudFederation fed{sim, stats, smallFederation(3)};
+    std::size_t tenant = 0;
+    std::size_t tmpl = 0;
+};
+
+TEST_F(FederationTest, ShardsAreIndependentStacks)
+{
+    ASSERT_EQ(fed.numShards(), 3u);
+    for (std::size_t s = 0; s < 3; ++s) {
+        EXPECT_EQ(fed.shardServer(s).inventory().numHosts(), 2u);
+        EXPECT_EQ(fed.shardServer(s).inventory().numDatastores(), 1u);
+        // Each shard has its own golden master.
+        EXPECT_EQ(fed.shardServer(s).inventory().numVms(), 1u);
+    }
+}
+
+TEST_F(FederationTest, DeployRoutesAndSucceeds)
+{
+    std::optional<VApp> result;
+    int shard = fed.deploy(tenant, tmpl,
+                           [&](const VApp &va) { result = va; });
+    ASSERT_GE(shard, 0);
+    sim.run();
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(result->state, VAppState::Deployed);
+    EXPECT_EQ(fed.deploysRouted(), 1u);
+    EXPECT_EQ(fed.vmsProvisioned(), 1u);
+}
+
+TEST_F(FederationTest, LeastLoadedSpreadsAcrossShards)
+{
+    // Burst-routed: the pending ledger must spread the deploys even
+    // though none has provisioned yet.
+    std::vector<int> per_shard(3, 0);
+    for (int i = 0; i < 9; ++i) {
+        int s = fed.deploy(tenant, tmpl);
+        ASSERT_GE(s, 0);
+        per_shard[static_cast<std::size_t>(s)] += 1;
+    }
+    for (int c : per_shard)
+        EXPECT_EQ(c, 3);
+    // And everything completes.
+    sim.runUntil(hours(1));
+    EXPECT_EQ(fed.vmsProvisioned(), 9u);
+}
+
+TEST_F(FederationTest, RoundRobinRotates)
+{
+    Simulator sim2(5);
+    StatRegistry stats2;
+    FederationConfig cfg = smallFederation(3);
+    cfg.routing = ShardRouting::RoundRobin;
+    CloudFederation rr(sim2, stats2, cfg);
+    std::size_t t = rr.addTenant({"org", 0});
+    std::size_t m =
+        rr.createTemplate("x", gib(4), 0.5, 1, gib(1), 1, hours(1));
+    EXPECT_EQ(rr.deploy(t, m), 0);
+    EXPECT_EQ(rr.deploy(t, m), 1);
+    EXPECT_EQ(rr.deploy(t, m), 2);
+    EXPECT_EQ(rr.deploy(t, m), 0);
+}
+
+TEST_F(FederationTest, BadIndicesRejected)
+{
+    EXPECT_EQ(fed.deploy(99, tmpl), -1);
+    EXPECT_EQ(fed.deploy(tenant, 99), -1);
+}
+
+TEST_F(FederationTest, ControlPlaneResourcesMultiply)
+{
+    // Two federations, same total hardware, different shard counts:
+    // the sharded one has K independent dispatch queues.  Drive both
+    // with a synchronized burst and compare makespan.
+    auto makespan = [](int shards, int hosts_per_shard) {
+        Simulator s(7);
+        StatRegistry st;
+        FederationConfig cfg = smallFederation(shards);
+        cfg.hosts_per_shard = hosts_per_shard;
+        cfg.server.dispatch_width = 4; // small: the shared choke
+        CloudFederation f(s, st, cfg);
+        std::size_t t = f.addTenant({"org", 0});
+        std::size_t m = f.createTemplate("x", gib(4), 0.5, 1, gib(1),
+                                         1, hours(24));
+        int pending = 48;
+        SimTime done = 0;
+        for (int i = 0; i < 48; ++i) {
+            f.deploy(t, m, [&](const VApp &va) {
+                EXPECT_EQ(va.state, VAppState::Deployed);
+                if (--pending == 0)
+                    done = s.now();
+            });
+        }
+        s.run();
+        EXPECT_EQ(pending, 0);
+        return done;
+    };
+    SimTime one_shard = makespan(1, 8);
+    SimTime four_shards = makespan(4, 2);
+    EXPECT_GT(one_shard, 2 * four_shards);
+}
+
+TEST_F(FederationTest, InvalidConfigFatal)
+{
+    Simulator s(1);
+    StatRegistry st;
+    FederationConfig cfg = smallFederation(0);
+    EXPECT_THROW(CloudFederation(s, st, cfg), FatalError);
+}
+
+TEST_F(FederationTest, RoutingNames)
+{
+    EXPECT_STREQ(shardRoutingName(ShardRouting::RoundRobin),
+                 "round-robin");
+    EXPECT_STREQ(shardRoutingName(ShardRouting::LeastLoaded),
+                 "least-loaded");
+}
+
+} // namespace
+} // namespace vcp

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Tests for the HA manager (crash / boot-storm recovery) and the
+ * failure injector.
+ */
+
+#include "cloud_fixture.hh"
+
+#include "cloud/ha_manager.hh"
+#include "workload/failures.hh"
+
+namespace vcp {
+namespace {
+
+class HaTest : public CloudFixture
+{
+  protected:
+    /** Host with the most powered-on VMs. */
+    HostId
+    busiestHost()
+    {
+        HostId best;
+        std::size_t most = 0;
+        for (HostId h : cs->hostIds()) {
+            std::size_t on = 0;
+            for (VmId vm : inv().host(h).vms()) {
+                if (inv().vm(vm).powerState() ==
+                    PowerState::PoweredOn)
+                    ++on;
+            }
+            if (on > most) {
+                most = on;
+                best = h;
+            }
+        }
+        return best;
+    }
+};
+
+TEST_F(HaTest, CrashForcesVmsOffAndDisconnects)
+{
+    deploy(tenant0());
+    HaManager ha(srv());
+    HostId victim = busiestHost();
+    ASSERT_TRUE(victim.valid());
+    int committed_before = inv().host(victim).committedVcpus();
+    ASSERT_GT(committed_before, 0);
+
+    std::size_t downed = ha.crashHost(victim);
+    EXPECT_GT(downed, 0u);
+    EXPECT_FALSE(inv().host(victim).connected());
+    EXPECT_EQ(inv().host(victim).committedVcpus(), 0);
+    EXPECT_TRUE(ha.isCrashed(victim));
+    for (VmId vm : inv().host(victim).vms()) {
+        EXPECT_NE(inv().vm(vm).powerState(), PowerState::PoweredOn);
+    }
+    EXPECT_EQ(ha.crashes(), 1u);
+    EXPECT_EQ(ha.vmsCrashed(), downed);
+}
+
+TEST_F(HaTest, CrashTwiceIsIdempotent)
+{
+    deploy(tenant0());
+    HaManager ha(srv());
+    HostId victim = busiestHost();
+    ha.crashHost(victim);
+    EXPECT_EQ(ha.crashHost(victim), 0u);
+    EXPECT_EQ(ha.crashes(), 1u);
+}
+
+TEST_F(HaTest, RecoveryReconnectsAndRestartsVms)
+{
+    auto va = deploy(tenant0());
+    ASSERT_TRUE(va.has_value());
+    HaManager ha(srv());
+    HostId victim = busiestHost();
+    std::size_t downed = ha.crashHost(victim);
+    ASSERT_GT(downed, 0u);
+
+    std::optional<bool> result;
+    ha.recoverHost(victim, [&](bool ok) { result = ok; });
+    drain();
+    ASSERT_TRUE(result.has_value());
+    EXPECT_TRUE(*result);
+    EXPECT_TRUE(inv().host(victim).connected());
+    EXPECT_FALSE(ha.isCrashed(victim));
+    EXPECT_EQ(ha.vmsRestarted(), downed);
+    // Every vApp VM is powered on again.
+    for (VmId vm : va->vms)
+        EXPECT_EQ(inv().vm(vm).powerState(), PowerState::PoweredOn);
+}
+
+TEST_F(HaTest, RecoverUncrashedHostFails)
+{
+    HaManager ha(srv());
+    std::optional<bool> result;
+    ha.recoverHost(cs->hostIds()[0], [&](bool ok) { result = ok; });
+    EXPECT_FALSE(result.value_or(true));
+}
+
+TEST_F(HaTest, RecoverySkipsVmsDestroyedDuringOutage)
+{
+    auto va = deploy(tenant0());
+    HaManager ha(srv());
+    HostId victim = busiestHost();
+    ha.crashHost(victim);
+    // Tear the vApp down while its host is dark (its VMs are off,
+    // so the destroy goes through).
+    ASSERT_TRUE(undeploy(va->id));
+    std::optional<bool> result;
+    ha.recoverHost(victim, [&](bool ok) { result = ok; });
+    drain();
+    EXPECT_TRUE(result.value_or(false));
+    EXPECT_EQ(ha.restartFailures(), 0u);
+}
+
+TEST_F(HaTest, FailureInjectorDrivesOutagesAndRecoveries)
+{
+    deploy(tenant0());
+    deploy(tenant1());
+    HaManager ha(srv());
+    FailureConfig fcfg;
+    fcfg.mtbf = minutes(30);
+    fcfg.outage_mean = minutes(5);
+    FailureInjector inj(ha, fcfg, Rng(5));
+    inj.start();
+    sim().runUntil(hours(6));
+    EXPECT_GT(inj.outages(), 3u);
+    EXPECT_GT(inj.recoveries(), 2u);
+    EXPECT_EQ(inj.recoveries(),
+              ha.crashes() - (ha.isCrashed(cs->hostIds()[0]) ||
+                                      ha.isCrashed(cs->hostIds()[1]) ||
+                                      ha.isCrashed(cs->hostIds()[2]) ||
+                                      ha.isCrashed(cs->hostIds()[3])
+                                  ? 1u
+                                  : 0u));
+    inj.stop();
+}
+
+TEST_F(HaTest, InjectorDisabledWithZeroMtbf)
+{
+    HaManager ha(srv());
+    FailureConfig fcfg;
+    fcfg.mtbf = 0;
+    FailureInjector inj(ha, fcfg, Rng(5));
+    inj.start();
+    sim().runUntil(hours(10));
+    EXPECT_EQ(inj.outages(), 0u);
+}
+
+} // namespace
+} // namespace vcp

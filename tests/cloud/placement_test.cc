@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Tests for the placement engine: host load balancing, datastore
+ * policies, pool-aware linked-clone placement.
+ */
+
+#include "cloud_fixture.hh"
+
+#include <map>
+#include <set>
+
+#include "sim/logging.hh"
+
+namespace vcp {
+namespace {
+
+class PlacementTest : public CloudFixture
+{
+  protected:
+    PlacementQuery
+    query(Bytes disk_need = gib(1), bool linked = false)
+    {
+        PlacementQuery q;
+        q.vcpus = 1;
+        q.memory = gib(2);
+        q.disk_need = disk_need;
+        q.tmpl = tmpl();
+        q.linked = linked;
+        return q;
+    }
+};
+
+TEST_F(PlacementTest, PicksLeastLoadedHost)
+{
+    // Load host 0 heavily.
+    HostId h0 = cs->hostIds()[0];
+    inv().host(h0).commit(30, gib(30));
+    Placement p = cloud().placement().place(query());
+    ASSERT_TRUE(p.ok);
+    EXPECT_NE(p.host, h0);
+}
+
+TEST_F(PlacementTest, FailsWhenNoHostAdmits)
+{
+    for (HostId h : cs->hostIds())
+        inv().host(h).setMaintenance(true);
+    Placement p = cloud().placement().place(query());
+    EXPECT_FALSE(p.ok);
+}
+
+TEST_F(PlacementTest, FailsWhenNoDatastoreFits)
+{
+    Placement p = cloud().placement().place(query(gib(100000)));
+    EXPECT_FALSE(p.ok);
+}
+
+TEST_F(PlacementTest, MostFreePolicyPicksEmptierDatastore)
+{
+    cloud().placement().setPolicy(DsPolicy::MostFree);
+    DatastoreId ds0 = cs->datastoreIds()[0];
+    DatastoreId ds1 = cs->datastoreIds()[1];
+    inv().datastore(ds0).reserve(gib(100));
+    Placement p = cloud().placement().place(query());
+    ASSERT_TRUE(p.ok);
+    EXPECT_EQ(p.datastore, ds1);
+}
+
+TEST_F(PlacementTest, PackPolicyPicksFullerDatastore)
+{
+    cloud().placement().setPolicy(DsPolicy::Pack);
+    DatastoreId ds0 = cs->datastoreIds()[0];
+    inv().datastore(ds0).reserve(gib(100));
+    Placement p = cloud().placement().place(query());
+    ASSERT_TRUE(p.ok);
+    EXPECT_EQ(p.datastore, ds0);
+}
+
+TEST_F(PlacementTest, PackPolicySkipsDatastoreThatCannotFit)
+{
+    cloud().placement().setPolicy(DsPolicy::Pack);
+    DatastoreId ds0 = cs->datastoreIds()[0];
+    DatastoreId ds1 = cs->datastoreIds()[1];
+    inv().datastore(ds0).reserve(inv().datastore(ds0).free() -
+                                 gib(1));
+    Placement p = cloud().placement().place(query(gib(2)));
+    ASSERT_TRUE(p.ok);
+    EXPECT_EQ(p.datastore, ds1);
+}
+
+TEST_F(PlacementTest, RoundRobinRotates)
+{
+    cloud().placement().setPolicy(DsPolicy::RoundRobin);
+    Placement p1 = cloud().placement().place(query());
+    Placement p2 = cloud().placement().place(query());
+    ASSERT_TRUE(p1.ok);
+    ASSERT_TRUE(p2.ok);
+    EXPECT_NE(p1.datastore, p2.datastore);
+}
+
+TEST_F(PlacementTest, LinkedPrefersDatastoreWithBase)
+{
+    // The template seed base lives on one datastore; a linked query
+    // must find it.
+    Placement p = cloud().placement().place(query(mib(100), true));
+    ASSERT_TRUE(p.ok);
+    ASSERT_TRUE(p.base_found);
+    EXPECT_EQ(inv().disk(p.base.disk).datastore, p.datastore);
+}
+
+TEST_F(PlacementTest, LinkedFallsBackWhenBaseSaturated)
+{
+    // Saturate the seed base's clone slots.
+    const auto &reps = cloud().pool().replicas(tmpl());
+    ASSERT_EQ(reps.size(), 1u);
+    inv().disk(reps[0].disk).ref_count =
+        cloud().pool().config().max_clones_per_base;
+    Placement p = cloud().placement().place(query(mib(100), true));
+    ASSERT_TRUE(p.ok);
+    EXPECT_FALSE(p.base_found);
+}
+
+TEST_F(PlacementTest, PendingLedgerSpreadsSimultaneousPlacements)
+{
+    // Without resolution between calls, repeated placements must not
+    // pile onto one host: the pending footprint counts as load.
+    PlacementEngine &pe = cloud().placement();
+    std::map<HostId, int> per_host;
+    for (int i = 0; i < 8; ++i) {
+        Placement p = pe.place(query());
+        ASSERT_TRUE(p.ok);
+        per_host[p.host] += 1;
+    }
+    // 4 hosts, 8 placements: perfectly balanced is 2 each.
+    for (const auto &kv : per_host)
+        EXPECT_EQ(kv.second, 2) << "host " << kv.first.value;
+    EXPECT_EQ(pe.pendingVcpus(cs->hostIds()[0]), 2);
+}
+
+TEST_F(PlacementTest, ResolveReleasesPendingFootprint)
+{
+    PlacementEngine &pe = cloud().placement();
+    PlacementQuery q = query();
+    Placement p = pe.place(q);
+    ASSERT_TRUE(p.ok);
+    EXPECT_EQ(pe.pendingVcpus(p.host), q.vcpus);
+    EXPECT_EQ(pe.pendingMemory(p.host), q.memory);
+    pe.resolve(p.host, q.vcpus, q.memory);
+    EXPECT_EQ(pe.pendingVcpus(p.host), 0);
+    EXPECT_EQ(pe.pendingMemory(p.host), 0);
+}
+
+TEST_F(PlacementTest, ResolveWithoutPlacementPanics)
+{
+    EXPECT_THROW(cloud().placement().resolve(cs->hostIds()[0], 1,
+                                             gib(1)),
+                 PanicError);
+}
+
+TEST_F(PlacementTest, PendingLoadBlocksAdmission)
+{
+    // Fill a host's admission capacity purely with pending
+    // placements; further queries must go elsewhere or fail.
+    PlacementEngine &pe = cloud().placement();
+    PlacementQuery big = query();
+    big.vcpus = 64; // host capacity: 16 cores x 4.0 = 64 vCPUs
+    std::set<HostId> used;
+    for (int i = 0; i < 4; ++i) {
+        Placement p = pe.place(big);
+        ASSERT_TRUE(p.ok);
+        EXPECT_TRUE(used.insert(p.host).second)
+            << "host reused while pending-full";
+    }
+    Placement overflow = pe.place(big);
+    EXPECT_FALSE(overflow.ok);
+}
+
+TEST_F(PlacementTest, DsPolicyNames)
+{
+    EXPECT_STREQ(dsPolicyName(DsPolicy::MostFree), "most-free");
+    EXPECT_STREQ(dsPolicyName(DsPolicy::Pack), "pack");
+    EXPECT_STREQ(dsPolicyName(DsPolicy::RoundRobin), "round-robin");
+}
+
+} // namespace
+} // namespace vcp

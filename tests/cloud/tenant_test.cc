@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Tests for tenants, the catalog, vApp state names, and the lease
+ * manager.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cloud/catalog.hh"
+#include "cloud/lease_manager.hh"
+#include "cloud/tenant.hh"
+#include "cloud/vapp.hh"
+#include "sim/logging.hh"
+
+namespace vcp {
+namespace {
+
+TEST(TenantTest, QuotaEnforcement)
+{
+    Tenant t(TenantId(1), {"org", 5});
+    EXPECT_TRUE(t.withinQuota(5));
+    EXPECT_FALSE(t.withinQuota(6));
+    t.chargeVms(3);
+    EXPECT_EQ(t.vmsInUse(), 3);
+    EXPECT_TRUE(t.withinQuota(2));
+    EXPECT_FALSE(t.withinQuota(3));
+    t.refundVms(3);
+    EXPECT_EQ(t.vmsInUse(), 0);
+}
+
+TEST(TenantTest, UnlimitedQuota)
+{
+    Tenant t(TenantId(1), {"org", 0});
+    t.chargeVms(100000);
+    EXPECT_TRUE(t.withinQuota(100000));
+}
+
+TEST(TenantTest, RefundClampsAtZero)
+{
+    Tenant t(TenantId(1), {"org", 5});
+    t.chargeVms(1);
+    t.refundVms(3);
+    EXPECT_EQ(t.vmsInUse(), 0);
+}
+
+TEST(TenantTest, DeployCountersAccumulate)
+{
+    Tenant t(TenantId(1), {"org", 5});
+    t.noteDeployRequested();
+    t.noteDeploySucceeded();
+    t.noteDeployRequested();
+    t.noteDeployFailed();
+    EXPECT_EQ(t.deploysRequested(), 2u);
+    EXPECT_EQ(t.deploysSucceeded(), 1u);
+    EXPECT_EQ(t.deploysFailed(), 1u);
+}
+
+TEST(CatalogTest, AddAndGet)
+{
+    Catalog c;
+    VAppTemplate t;
+    t.id = TemplateId(1);
+    t.name = "x";
+    t.vm_count = 3;
+    c.add(t);
+    EXPECT_TRUE(c.has(TemplateId(1)));
+    EXPECT_EQ(c.get(TemplateId(1)).vm_count, 3);
+    EXPECT_EQ(c.size(), 1u);
+    EXPECT_EQ(c.ids().size(), 1u);
+}
+
+TEST(CatalogTest, DuplicateAndInvalidRejected)
+{
+    Catalog c;
+    VAppTemplate t;
+    t.id = TemplateId(1);
+    t.vm_count = 1;
+    c.add(t);
+    EXPECT_THROW(c.add(t), PanicError);
+
+    VAppTemplate bad;
+    EXPECT_THROW(c.add(bad), PanicError); // invalid id
+
+    VAppTemplate zero;
+    zero.id = TemplateId(2);
+    zero.vm_count = 0;
+    EXPECT_THROW(c.add(zero), FatalError);
+}
+
+TEST(CatalogTest, MissingLookupPanics)
+{
+    Catalog c;
+    EXPECT_THROW(c.get(TemplateId(9)), PanicError);
+}
+
+TEST(VAppTest, StateNames)
+{
+    EXPECT_STREQ(vappStateName(VAppState::Deploying), "deploying");
+    EXPECT_STREQ(vappStateName(VAppState::Deployed), "deployed");
+    EXPECT_STREQ(vappStateName(VAppState::DeployFailed),
+                 "deploy-failed");
+    EXPECT_STREQ(vappStateName(VAppState::Destroyed), "destroyed");
+}
+
+TEST(LeaseManagerTest, FiresAtExpiry)
+{
+    Simulator sim;
+    std::vector<VAppId> expired;
+    LeaseManager lm(sim, [&](VAppId id) { expired.push_back(id); });
+    lm.schedule(VAppId(1), hours(2));
+    lm.schedule(VAppId(2), hours(1));
+    EXPECT_EQ(lm.active(), 2u);
+    sim.run();
+    ASSERT_EQ(expired.size(), 2u);
+    EXPECT_EQ(expired[0], VAppId(2));
+    EXPECT_EQ(expired[1], VAppId(1));
+    EXPECT_EQ(lm.expirations(), 2u);
+    EXPECT_EQ(lm.active(), 0u);
+}
+
+TEST(LeaseManagerTest, CancelPreventsExpiry)
+{
+    Simulator sim;
+    int fired = 0;
+    LeaseManager lm(sim, [&](VAppId) { ++fired; });
+    lm.schedule(VAppId(1), hours(1));
+    EXPECT_TRUE(lm.cancel(VAppId(1)));
+    EXPECT_FALSE(lm.cancel(VAppId(1)));
+    sim.run();
+    EXPECT_EQ(fired, 0);
+}
+
+TEST(LeaseManagerTest, RescheduleReplacesOldLease)
+{
+    Simulator sim;
+    std::vector<SimTime> fire_times;
+    LeaseManager lm(sim,
+                    [&](VAppId) { fire_times.push_back(sim.now()); });
+    lm.schedule(VAppId(1), hours(1));
+    lm.schedule(VAppId(1), hours(3)); // renewal
+    sim.run();
+    ASSERT_EQ(fire_times.size(), 1u);
+    EXPECT_EQ(fire_times[0], hours(3));
+}
+
+TEST(LeaseManagerTest, RequiresCallback)
+{
+    Simulator sim;
+    EXPECT_THROW(LeaseManager(sim, nullptr), PanicError);
+}
+
+} // namespace
+} // namespace vcp

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Shared fixture for control-plane tests: a two-host, two-datastore
+ * inventory with a golden-master template, plus helpers to make VMs
+ * and run ops synchronously.
+ */
+
+#ifndef VCP_TESTS_CP_FIXTURE_HH
+#define VCP_TESTS_CP_FIXTURE_HH
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+
+#include "controlplane/management_server.hh"
+
+namespace vcp {
+
+class ControlPlaneFixture : public ::testing::Test
+{
+  protected:
+    ControlPlaneFixture() { build({}); }
+
+    /** (Re)build the stack with a specific server configuration. */
+    void
+    build(const ManagementServerConfig &cfg)
+    {
+        srv.reset();
+        net.reset();
+        inv.reset();
+        stats = std::make_unique<StatRegistry>();
+        sim = std::make_unique<Simulator>(1234);
+        inv = std::make_unique<Inventory>(*sim);
+        net = std::make_unique<Network>(*sim, NetworkConfig{});
+        srv = std::make_unique<ManagementServer>(*sim, *inv, *net,
+                                                 *stats, cfg);
+
+        DatastoreConfig dc;
+        dc.capacity = gib(512);
+        dc.copy_bandwidth = 100.0 * 1024 * 1024; // 100 MiB/s
+        dc.name = "ds0";
+        ds0 = inv->addDatastore(dc);
+        dc.name = "ds1";
+        ds1 = inv->addDatastore(dc);
+
+        HostConfig hc;
+        hc.cores = 16;
+        hc.memory = gib(64);
+        hc.name = "h0";
+        h0 = inv->addHost(hc);
+        hc.name = "h1";
+        h1 = inv->addHost(hc);
+        for (HostId h : {h0, h1}) {
+            inv->connectHostToDatastore(h, ds0);
+            inv->connectHostToDatastore(h, ds1);
+        }
+
+        // Golden master: 8 GiB disk, 4 GiB allocated, on ds0.
+        VmConfig vc;
+        vc.name = "template";
+        vc.vcpus = 2;
+        vc.memory = gib(4);
+        vc.is_template = true;
+        tmpl = inv->createVm(vc);
+        DiskConfig bdc;
+        bdc.kind = DiskKind::Flat;
+        bdc.datastore = ds0;
+        bdc.capacity = gib(8);
+        bdc.initial_allocation = gib(4);
+        bdc.owner = tmpl;
+        base = inv->createDisk(bdc);
+        inv->vm(tmpl).disks.push_back(base);
+    }
+
+    /** Create a powered-off VM registered on @p host with one disk. */
+    VmId
+    makeVm(HostId host, DatastoreId ds, Bytes disk = gib(4),
+           int vcpus = 1, Bytes memory = gib(2))
+    {
+        VmConfig vc;
+        vc.name = "vm";
+        vc.vcpus = vcpus;
+        vc.memory = memory;
+        VmId vm = inv->createVm(vc);
+        DiskConfig dc;
+        dc.kind = DiskKind::Flat;
+        dc.datastore = ds;
+        dc.capacity = disk;
+        dc.owner = vm;
+        DiskId d = inv->createDisk(dc);
+        EXPECT_TRUE(d.valid());
+        inv->vm(vm).disks.push_back(d);
+        inv->vm(vm).host = host;
+        inv->host(host).registerVm(vm);
+        return vm;
+    }
+
+    /** Submit an op and run the simulation until it completes. */
+    Task
+    runOp(const OpRequest &req)
+    {
+        std::optional<Task> result;
+        srv->submit(req, [&](const Task &t) { result = t; });
+        sim->run();
+        EXPECT_TRUE(result.has_value());
+        return *result;
+    }
+
+    /** Power a VM on synchronously (helper for test setup). */
+    Task
+    powerOn(VmId vm)
+    {
+        OpRequest req;
+        req.type = OpType::PowerOn;
+        req.vm = vm;
+        return runOp(req);
+    }
+
+    std::unique_ptr<Simulator> sim;
+    std::unique_ptr<StatRegistry> stats;
+    std::unique_ptr<Inventory> inv;
+    std::unique_ptr<Network> net;
+    std::unique_ptr<ManagementServer> srv;
+
+    HostId h0, h1;
+    DatastoreId ds0, ds1;
+    VmId tmpl;
+    DiskId base;
+};
+
+} // namespace vcp
+
+#endif // VCP_TESTS_CP_FIXTURE_HH

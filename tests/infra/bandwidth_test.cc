@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Tests for the processor-sharing bandwidth resource: completion
+ * times under sharing, cancellation, accounting, and a conservation
+ * property under random job sets.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "infra/bandwidth.hh"
+#include "sim/logging.hh"
+#include "sim/random.hh"
+
+namespace vcp {
+namespace {
+
+TEST(BandwidthTest, SingleTransferTakesBytesOverCapacity)
+{
+    Simulator sim;
+    SharedBandwidthResource bw(sim, "pipe", 100.0); // 100 B/s
+    SimTime done = -1;
+    bw.startTransfer(1000, [&] { done = sim.now(); });
+    sim.run();
+    EXPECT_NEAR(toSeconds(done), 10.0, 0.001);
+    EXPECT_EQ(bw.bytesCompleted(), 1000);
+    EXPECT_EQ(bw.activeTransfers(), 0u);
+}
+
+TEST(BandwidthTest, TwoEqualTransfersShareFairly)
+{
+    Simulator sim;
+    SharedBandwidthResource bw(sim, "pipe", 100.0);
+    SimTime d1 = -1, d2 = -1;
+    bw.startTransfer(1000, [&] { d1 = sim.now(); });
+    bw.startTransfer(1000, [&] { d2 = sim.now(); });
+    sim.run();
+    // Both progress at 50 B/s: 20 s each.
+    EXPECT_NEAR(toSeconds(d1), 20.0, 0.001);
+    EXPECT_NEAR(toSeconds(d2), 20.0, 0.001);
+}
+
+TEST(BandwidthTest, LateArrivalSlowsExistingTransfer)
+{
+    Simulator sim;
+    SharedBandwidthResource bw(sim, "pipe", 100.0);
+    SimTime d1 = -1, d2 = -1;
+    bw.startTransfer(1000, [&] { d1 = sim.now(); });
+    sim.schedule(seconds(5), [&] {
+        bw.startTransfer(1000, [&] { d2 = sim.now(); });
+    });
+    sim.run();
+    // First: 500 B alone (5 s), then 500 B at 50 B/s (10 s) -> 15 s.
+    EXPECT_NEAR(toSeconds(d1), 15.0, 0.001);
+    // Second: 500 B shared (10 s), then 500 B alone (5 s) -> at 20 s.
+    EXPECT_NEAR(toSeconds(d2), 20.0, 0.001);
+}
+
+TEST(BandwidthTest, ShortTransferFinishesFirstAndFreesBandwidth)
+{
+    Simulator sim;
+    SharedBandwidthResource bw(sim, "pipe", 100.0);
+    SimTime small_done = -1, big_done = -1;
+    bw.startTransfer(100, [&] { small_done = sim.now(); });
+    bw.startTransfer(1000, [&] { big_done = sim.now(); });
+    sim.run();
+    // Small: 100 B at 50 B/s = 2 s.  Big: 100 B shared (2 s) + 900 B
+    // alone (9 s) = 11 s.
+    EXPECT_NEAR(toSeconds(small_done), 2.0, 0.001);
+    EXPECT_NEAR(toSeconds(big_done), 11.0, 0.001);
+}
+
+TEST(BandwidthTest, ZeroByteTransferCompletesImmediately)
+{
+    Simulator sim;
+    SharedBandwidthResource bw(sim, "pipe", 100.0);
+    bool done = false;
+    bw.startTransfer(0, [&] { done = true; });
+    sim.run();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(sim.now(), 0);
+}
+
+TEST(BandwidthTest, CancelPreventsCompletion)
+{
+    Simulator sim;
+    SharedBandwidthResource bw(sim, "pipe", 100.0);
+    bool done = false;
+    TransferId id = bw.startTransfer(1000, [&] { done = true; });
+    sim.schedule(seconds(2), [&] {
+        EXPECT_TRUE(bw.cancelTransfer(id));
+    });
+    sim.run();
+    EXPECT_FALSE(done);
+    // 2 s at 100 B/s = 200 B partially delivered.
+    EXPECT_NEAR(static_cast<double>(bw.bytesCompleted()), 200.0, 1.0);
+}
+
+TEST(BandwidthTest, CancelUnknownFails)
+{
+    Simulator sim;
+    SharedBandwidthResource bw(sim, "pipe", 100.0);
+    EXPECT_FALSE(bw.cancelTransfer(12345));
+}
+
+TEST(BandwidthTest, CancelSpeedsUpSurvivor)
+{
+    Simulator sim;
+    SharedBandwidthResource bw(sim, "pipe", 100.0);
+    SimTime done = -1;
+    TransferId victim = bw.startTransfer(10000, [] {});
+    bw.startTransfer(1000, [&] { done = sim.now(); });
+    sim.schedule(seconds(4), [&] { bw.cancelTransfer(victim); });
+    sim.run();
+    // Survivor: 4 s shared (200 B), then 800 B alone (8 s) -> 12 s.
+    EXPECT_NEAR(toSeconds(done), 12.0, 0.001);
+}
+
+TEST(BandwidthTest, BusyTimeTracksActivity)
+{
+    Simulator sim;
+    SharedBandwidthResource bw(sim, "pipe", 100.0);
+    bw.startTransfer(500, [] {});
+    sim.run();          // busy 5 s
+    sim.runUntil(seconds(10));
+    EXPECT_NEAR(toSeconds(bw.busyTime()), 5.0, 0.01);
+}
+
+TEST(BandwidthTest, NegativeTransferPanics)
+{
+    Simulator sim;
+    SharedBandwidthResource bw(sim, "pipe", 100.0);
+    EXPECT_THROW(bw.startTransfer(-1, [] {}), PanicError);
+}
+
+TEST(BandwidthTest, InvalidCapacityPanics)
+{
+    Simulator sim;
+    EXPECT_THROW(SharedBandwidthResource(sim, "pipe", 0.0),
+                 PanicError);
+}
+
+/** Property: all admitted bytes are eventually delivered, and total
+ *  delivery time is at least total_bytes / capacity. */
+class BandwidthConservationTest
+    : public ::testing::TestWithParam<std::uint64_t> // seed
+{};
+
+TEST_P(BandwidthConservationTest, AllBytesDelivered)
+{
+    Rng rng(GetParam());
+    Simulator sim;
+    double cap = 1000.0;
+    SharedBandwidthResource bw(sim, "pipe", cap);
+    Bytes total = 0;
+    int completions = 0;
+    const int n = 50;
+    for (int i = 0; i < n; ++i) {
+        Bytes sz = rng.uniformInt(1, 100000);
+        total += sz;
+        SimDuration start = rng.uniformInt(0, seconds(30));
+        sim.schedule(start, [&bw, sz, &completions] {
+            bw.startTransfer(sz, [&completions] { ++completions; });
+        });
+    }
+    sim.run();
+    EXPECT_EQ(completions, n);
+    EXPECT_EQ(bw.bytesCompleted(), total);
+    // Work conservation: cannot finish faster than the pipe allows.
+    double min_seconds = static_cast<double>(total) / cap;
+    EXPECT_GE(toSeconds(bw.busyTime()) + 1e-6, min_seconds * 0.999);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BandwidthConservationTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+} // namespace
+} // namespace vcp

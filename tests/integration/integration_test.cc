@@ -1,0 +1,312 @@
+/**
+ * @file
+ * End-to-end integration tests: simulator-vs-analytic queueing
+ * validation, the paper's linked-vs-full bottleneck shift, overload
+ * behaviour, and conservation invariants under churn.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "analysis/bottleneck.hh"
+#include "analysis/queueing.hh"
+#include "cloud/ha_manager.hh"
+#include "workload/failures.hh"
+#include "workload/profiles.hh"
+
+namespace vcp {
+namespace {
+
+/**
+ * T3 basis: a ServiceCenter under Poisson arrivals and exponential
+ * service must reproduce analytic M/M/c waiting times.
+ */
+class MmcValidationTest
+    : public ::testing::TestWithParam<std::tuple<int, double>>
+{};
+
+TEST_P(MmcValidationTest, SimMatchesErlangC)
+{
+    auto [servers, rho] = GetParam();
+    Simulator sim(1234);
+    ServiceCenter sc(sim, "mmc", servers);
+    Rng rng(99);
+
+    double mu = 1.0;                 // per-second service rate
+    double lambda = rho * servers * mu;
+    const int n = 60000;
+
+    // Open-loop Poisson arrivals with exponential service times.
+    SimTime t = 0;
+    for (int i = 0; i < n; ++i) {
+        t += seconds(rng.exponential(1.0 / lambda));
+        SimDuration service = seconds(rng.exponential(1.0 / mu));
+        sim.scheduleAt(t, [&sc, service] {
+            sc.submit(service, [] {});
+        });
+    }
+    sim.run();
+
+    MmcResult analytic = mmcAnalysis(lambda, mu, servers);
+    double sim_wq = sc.waitTimes().mean() / 1e6; // usec -> s
+    // 5% of the mean sojourn or absolute 0.01 s, whichever is larger.
+    double tol = std::max(0.08 * analytic.w, 0.01);
+    EXPECT_NEAR(sim_wq, analytic.wq, tol)
+        << "c=" << servers << " rho=" << rho;
+    EXPECT_NEAR(sc.utilization(), rho, 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MmcValidationTest,
+    ::testing::Values(std::make_tuple(1, 0.5),
+                      std::make_tuple(1, 0.8),
+                      std::make_tuple(4, 0.7),
+                      std::make_tuple(8, 0.9)));
+
+CloudSetupSpec
+smallCloud(bool linked)
+{
+    CloudSetupSpec s;
+    s.name = linked ? "small-linked" : "small-full";
+    s.infra.hosts = 8;
+    s.infra.host.cores = 16;
+    s.infra.host.memory = gib(128);
+    s.infra.datastores = 2;
+    s.infra.ds_capacity = gib(2048);
+    s.infra.ds_copy_bandwidth = 100.0 * 1024 * 1024;
+
+    TenantConfig t;
+    t.name = "org";
+    t.vm_quota = 0;
+    s.tenants.push_back(t);
+    s.templates = {{"tmpl", gib(8), 0.5, 1, gib(1), 1, hours(24)}};
+    s.director.use_linked_clones = linked;
+    s.director.pool.max_clones_per_base = 1000;
+
+    s.workload.duration = hours(2);
+    s.workload.arrival.rate_per_hour = 120.0;
+    // Deploy-only workload for a clean comparison.
+    s.workload.action_weights = {1, 0, 0, 0, 0, 0, 0};
+    return s;
+}
+
+TEST(IntegrationTest, LinkedClonesConserveBandwidth)
+{
+    CloudSimulation full(smallCloud(false), 5);
+    CloudSimulation linked(smallCloud(true), 5);
+    full.run();
+    linked.run();
+
+    ASSERT_GT(full.cloud().vmsProvisioned(), 50u);
+    ASSERT_GT(linked.cloud().vmsProvisioned(), 50u);
+    // The paper's premise: linked clones slash data movement.
+    EXPECT_GT(full.server().bytesMoved(),
+              50 * linked.server().bytesMoved() + 1);
+    // And cut provisioning latency by a large factor.
+    double full_lat =
+        full.server().latencyHistogram(OpType::CloneFull).mean();
+    double linked_lat =
+        linked.server().latencyHistogram(OpType::CloneLinked).mean();
+    EXPECT_GT(full_lat, 4.0 * linked_lat);
+}
+
+TEST(IntegrationTest, FullClonesAreDataPlaneLimitedUnderStorm)
+{
+    // Overdrive a full-clone cloud: the datastore pipes should be
+    // the busiest resource.
+    CloudSetupSpec spec = smallCloud(false);
+    spec.workload.arrival.rate_per_hour = 600.0;
+    spec.workload.duration = hours(1);
+    CloudSimulation cs(spec, 5);
+    cs.run();
+    auto utils = collectUtilizations(cs.server());
+    double pipe_max = 0.0;
+    for (const auto &u : utils) {
+        if (u.name == "datastore-pipes(max)")
+            pipe_max = u.utilization;
+    }
+    EXPECT_GT(pipe_max, 0.8);
+}
+
+TEST(IntegrationTest, LinkedClonesAreControlPlaneLimitedUnderStorm)
+{
+    // Same storm with linked clones: data plane nearly idle, and
+    // the binding resource is a control-plane one.
+    CloudSetupSpec spec = smallCloud(true);
+    spec.workload.arrival.rate_per_hour = 2000.0;
+    spec.workload.duration = hours(1);
+    spec.server.dispatch_width = 16;
+    CloudSimulation cs(spec, 5);
+    cs.run();
+    auto utils = collectUtilizations(cs.server());
+    EXPECT_TRUE(controlPlaneLimited(utils))
+        << utilizationTable(utils).toText();
+    for (const auto &u : utils) {
+        if (u.name == "datastore-pipes(max)")
+            EXPECT_LT(u.utilization, 0.1);
+    }
+}
+
+TEST(IntegrationTest, OverloadQueuesGrowButWorkCompletes)
+{
+    CloudSetupSpec spec = smallCloud(true);
+    spec.workload.arrival.rate_per_hour = 3000.0;
+    spec.workload.duration = minutes(30);
+    spec.server.dispatch_width = 4;
+    CloudSimulation cs(spec, 5);
+    cs.run(/*drain=*/hours(4));
+    // Everything eventually completed (accepted ops conserve).
+    EXPECT_EQ(cs.server().opsSubmitted(),
+              cs.server().opsCompleted() + cs.server().opsFailed());
+    // Queueing dominated latency for late ops.
+    double mean_queue_us =
+        cs.stats()
+            .summary("cp.phase_us.clone-linked.queue")
+            .mean();
+    EXPECT_GT(mean_queue_us, static_cast<double>(seconds(10)));
+}
+
+TEST(IntegrationTest, ChurnConservesInventoryAndSpace)
+{
+    CloudSetupSpec spec = smallCloud(true);
+    spec.templates[0].lease = hours(1); // fast churn
+    spec.workload.duration = hours(6);
+    spec.workload.arrival.rate_per_hour = 60.0;
+    spec.workload.action_weights = {10, 5, 5, 2, 2, 1, 1};
+    CloudSimulation cs(spec, 17);
+    cs.run(/*drain=*/hours(2));
+
+    CloudDirector &cloud = cs.cloud();
+    // VM conservation: alive = provisioned - destroyed + the golden
+    // master.
+    EXPECT_EQ(cs.inventory().numVms(),
+              1 + cloud.vmsProvisioned() - cloud.vmsDestroyed());
+    // Lease expirations actually drove churn.
+    EXPECT_GT(cloud.leases().expirations(), 10u);
+    EXPECT_GT(cloud.vmsDestroyed(), 10u);
+    // Space accounting stays sane.
+    for (DatastoreId ds : cs.datastoreIds()) {
+        EXPECT_GE(cs.inventory().datastore(ds).free(), 0);
+        EXPECT_GE(cs.inventory().datastore(ds).used(), 0);
+    }
+    // Tenant usage equals actual live tenant VMs.
+    int live_tenant_vms = 0;
+    for (VmId vm : cs.inventory().vmIds()) {
+        if (!cs.inventory().vm(vm).is_template)
+            ++live_tenant_vms;
+    }
+    EXPECT_EQ(cloud.tenant(cs.tenantIds()[0]).vmsInUse(),
+              live_tenant_vms);
+}
+
+TEST(IntegrationTest, ProfilesRunScaledDown)
+{
+    // Scaled-down versions of the two paper profiles run clean.
+    for (CloudSetupSpec spec : {cloudASpec(), cloudBSpec()}) {
+        spec.infra.hosts = 8;
+        spec.infra.datastores = 4;
+        spec.workload.duration = hours(1);
+        spec.workload.arrival.rate_per_hour = 30.0;
+        CloudSimulation cs(spec, 3);
+        cs.run();
+        EXPECT_GT(cs.server().opsCompleted(), 0u) << spec.name;
+        // No task leaks: nothing pending after drain except
+        // recurring maintenance/lease events.
+        EXPECT_EQ(cs.server().opsSubmitted(),
+                  cs.server().opsCompleted() +
+                      cs.server().opsFailed())
+            << spec.name;
+    }
+}
+
+/**
+ * Chaos: random host crashes and HA recoveries racing a live
+ * self-service workload.  Afterward, the global accounting must be
+ * exact — crash paths are where double-releases hide.
+ */
+class ChaosTest : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(ChaosTest, ConservationSurvivesCrashStorms)
+{
+    CloudSetupSpec spec = smallCloud(true);
+    spec.templates[0].lease = hours(1);
+    spec.workload.duration = hours(8);
+    spec.workload.arrival.rate_per_hour = 90.0;
+    spec.workload.action_weights = {10, 4, 8, 3, 2, 1, 2};
+    CloudSimulation cs(spec, GetParam());
+
+    HaManager ha(cs.server());
+    FailureConfig fcfg;
+    fcfg.mtbf = minutes(45); // aggressive: ~10 outages over the run
+    fcfg.outage_mean = minutes(10);
+    FailureInjector injector(ha, fcfg, Rng(GetParam() * 3 + 1));
+    injector.start();
+
+    cs.run(/*drain=*/hours(3));
+    injector.stop();
+
+    EXPECT_GT(injector.outages(), 3u);
+    EXPECT_GT(ha.vmsRestarted(), 0u);
+    // Accounting survives the chaos.
+    EXPECT_EQ(cs.server().opsSubmitted(),
+              cs.server().opsCompleted() + cs.server().opsFailed());
+
+    Inventory &inv = cs.inventory();
+    std::unordered_map<HostId, int> vcpus;
+    std::unordered_map<HostId, Bytes> mem;
+    for (VmId v : inv.vmIds()) {
+        const Vm &vm = inv.vm(v);
+        if (vm.powerState() == PowerState::PoweredOn ||
+            vm.powerState() == PowerState::PoweringOn ||
+            vm.powerState() == PowerState::PoweringOff) {
+            ASSERT_TRUE(vm.host.valid());
+            vcpus[vm.host] += vm.vcpus;
+            mem[vm.host] += vm.memory;
+        }
+    }
+    for (HostId h : cs.hostIds()) {
+        EXPECT_EQ(inv.host(h).committedVcpus(), vcpus[h])
+            << "host " << h.value;
+        EXPECT_EQ(inv.host(h).committedMemory(), mem[h]);
+    }
+    std::unordered_map<DatastoreId, Bytes> alloc;
+    for (DiskId d : inv.diskIds())
+        alloc[inv.disk(d).datastore] += inv.disk(d).allocated;
+    for (DatastoreId d : cs.datastoreIds())
+        EXPECT_EQ(inv.datastore(d).used(), alloc[d]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosTest,
+                         ::testing::Values(3u, 11u, 29u, 71u));
+
+TEST(IntegrationTest, HostAgentSlotSweepRaisesThroughput)
+{
+    // More host-agent slots -> shorter makespan for a fixed batch of
+    // linked clones (until another resource binds).
+    auto makespan = [](int slots) {
+        CloudSetupSpec spec = smallCloud(true);
+        spec.server.agent.op_slots = slots;
+        CloudSimulation cs(spec, 4);
+        // Hand-issue 64 deploys at t=0.
+        for (int i = 0; i < 64; ++i) {
+            DeployRequest req;
+            req.tenant = cs.tenantIds()[0];
+            req.tmpl = cs.templateIds()[0];
+            cs.cloud().deployVApp(req);
+        }
+        cs.sim().runUntil(hours(2));
+        EXPECT_EQ(cs.cloud().deploysSucceeded(), 64u);
+        double mean_us = cs.stats()
+                             .histogram("cloud.deploy_latency_us")
+                             .mean();
+        return mean_us;
+    };
+    double slow = makespan(1);
+    double fast = makespan(8);
+    EXPECT_GT(slow, 1.5 * fast);
+}
+
+} // namespace
+} // namespace vcp

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Unit tests for the pending-event set: ordering, tie-breaking,
+ * cancellation semantics, and a randomized ordering property test.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+#include "sim/random.hh"
+
+namespace vcp {
+namespace {
+
+TEST(EventQueueTest, StartsEmpty)
+{
+    EventQueue q;
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.size(), 0u);
+    EXPECT_EQ(q.nextTime(), kMaxSimTime);
+}
+
+TEST(EventQueueTest, PopsInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> fired;
+    q.push(30, 0, [&] { fired.push_back(3); });
+    q.push(10, 0, [&] { fired.push_back(1); });
+    q.push(20, 0, [&] { fired.push_back(2); });
+    while (!q.empty())
+        q.pop().action();
+    EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, SameTimeFifoBySequence)
+{
+    EventQueue q;
+    std::vector<int> fired;
+    for (int i = 0; i < 8; ++i)
+        q.push(5, 0, [&fired, i] { fired.push_back(i); });
+    while (!q.empty())
+        q.pop().action();
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(fired[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueueTest, LowerPriorityValueFiresFirstAtSameTime)
+{
+    EventQueue q;
+    std::vector<int> fired;
+    q.push(5, 2, [&] { fired.push_back(2); });
+    q.push(5, 0, [&] { fired.push_back(0); });
+    q.push(5, 1, [&] { fired.push_back(1); });
+    while (!q.empty())
+        q.pop().action();
+    EXPECT_EQ(fired, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueueTest, TimeBeatsPriority)
+{
+    EventQueue q;
+    std::vector<int> fired;
+    q.push(10, 0, [&] { fired.push_back(1); });
+    q.push(5, 100, [&] { fired.push_back(0); });
+    while (!q.empty())
+        q.pop().action();
+    EXPECT_EQ(fired, (std::vector<int>{0, 1}));
+}
+
+TEST(EventQueueTest, CancelRemovesEvent)
+{
+    EventQueue q;
+    bool fired = false;
+    EventId id = q.push(10, 0, [&] { fired = true; });
+    EXPECT_EQ(q.size(), 1u);
+    EXPECT_TRUE(q.cancel(id));
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.nextTime(), kMaxSimTime);
+    EXPECT_FALSE(fired);
+}
+
+TEST(EventQueueTest, CancelTwiceFails)
+{
+    EventQueue q;
+    EventId id = q.push(10, 0, [] {});
+    EXPECT_TRUE(q.cancel(id));
+    EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueueTest, CancelAfterPopFails)
+{
+    EventQueue q;
+    EventId id = q.push(10, 0, [] {});
+    q.pop();
+    EXPECT_FALSE(q.cancel(id));
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, CancelBogusIdFails)
+{
+    EventQueue q;
+    q.push(1, 0, [] {});
+    EXPECT_FALSE(q.cancel(EventId(999)));
+    EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueueTest, CancelMiddleKeepsOthersOrdered)
+{
+    EventQueue q;
+    std::vector<int> fired;
+    q.push(10, 0, [&] { fired.push_back(1); });
+    EventId mid = q.push(20, 0, [&] { fired.push_back(2); });
+    q.push(30, 0, [&] { fired.push_back(3); });
+    EXPECT_TRUE(q.cancel(mid));
+    EXPECT_EQ(q.size(), 2u);
+    while (!q.empty())
+        q.pop().action();
+    EXPECT_EQ(fired, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueueTest, NextTimeSkipsCancelledHead)
+{
+    EventQueue q;
+    EventId head = q.push(10, 0, [] {});
+    q.push(20, 0, [] {});
+    q.cancel(head);
+    EXPECT_EQ(q.nextTime(), 20);
+}
+
+TEST(EventQueueTest, PopOnEmptyPanics)
+{
+    EventQueue q;
+    EXPECT_THROW(q.pop(), PanicError);
+}
+
+TEST(EventQueueTest, RandomizedOrderingProperty)
+{
+    // Any random insert/cancel workload must pop in nondecreasing
+    // (time, priority, seq) order and fire exactly the non-cancelled
+    // events.
+    Rng rng(7);
+    EventQueue q;
+    std::vector<EventId> ids;
+    std::size_t cancelled = 0;
+    const int n = 2000;
+    for (int i = 0; i < n; ++i) {
+        SimTime when = rng.uniformInt(0, 500);
+        int prio = static_cast<int>(rng.uniformInt(-3, 3));
+        ids.push_back(q.push(when, prio, [] {}));
+        if (rng.bernoulli(0.25)) {
+            std::size_t victim = static_cast<std::size_t>(
+                rng.uniformInt(0,
+                               static_cast<std::int64_t>(ids.size()) -
+                                   1));
+            if (q.cancel(ids[victim]))
+                ++cancelled;
+        }
+    }
+    SimTime last_time = -1;
+    std::size_t popped = 0;
+    while (!q.empty()) {
+        Event ev = q.pop();
+        EXPECT_GE(ev.when, last_time);
+        last_time = ev.when;
+        ++popped;
+    }
+    EXPECT_EQ(popped + cancelled, static_cast<std::size_t>(n));
+}
+
+} // namespace
+} // namespace vcp

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel: clock advancement,
+ * scheduling semantics, stop/runUntil behaviour, cancellation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/simulator.hh"
+
+namespace vcp {
+namespace {
+
+TEST(SimulatorTest, ClockStartsAtZero)
+{
+    Simulator sim;
+    EXPECT_EQ(sim.now(), 0);
+    EXPECT_EQ(sim.eventsProcessed(), 0u);
+}
+
+TEST(SimulatorTest, ScheduleAdvancesClock)
+{
+    Simulator sim;
+    SimTime seen = -1;
+    sim.schedule(msec(5), [&] { seen = sim.now(); });
+    sim.run();
+    EXPECT_EQ(seen, msec(5));
+    EXPECT_EQ(sim.now(), msec(5));
+    EXPECT_EQ(sim.eventsProcessed(), 1u);
+}
+
+TEST(SimulatorTest, NestedSchedulingRunsRelativeToFiringTime)
+{
+    Simulator sim;
+    SimTime inner_time = -1;
+    sim.schedule(100, [&] {
+        sim.schedule(50, [&] { inner_time = sim.now(); });
+    });
+    sim.run();
+    EXPECT_EQ(inner_time, 150);
+}
+
+TEST(SimulatorTest, ZeroDelayRunsAtCurrentTime)
+{
+    Simulator sim;
+    std::vector<int> order;
+    sim.schedule(10, [&] {
+        order.push_back(1);
+        sim.schedule(0, [&] { order.push_back(2); });
+    });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    EXPECT_EQ(sim.now(), 10);
+}
+
+TEST(SimulatorTest, NegativeDelayPanics)
+{
+    Simulator sim;
+    EXPECT_THROW(sim.schedule(-1, [] {}), PanicError);
+}
+
+TEST(SimulatorTest, ScheduleAtAbsoluteTime)
+{
+    Simulator sim;
+    SimTime seen = -1;
+    sim.scheduleAt(seconds(3), [&] { seen = sim.now(); });
+    sim.run();
+    EXPECT_EQ(seen, seconds(3));
+}
+
+TEST(SimulatorTest, ScheduleAtPastPanics)
+{
+    Simulator sim;
+    sim.schedule(100, [&] {
+        EXPECT_THROW(sim.scheduleAt(50, [] {}), PanicError);
+    });
+    sim.run();
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundaryAndSetsClock)
+{
+    Simulator sim;
+    int fired = 0;
+    sim.schedule(100, [&] { ++fired; });
+    sim.schedule(200, [&] { ++fired; });
+    sim.schedule(300, [&] { ++fired; });
+    sim.runUntil(200);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(sim.now(), 200);
+    EXPECT_EQ(sim.pendingEvents(), 1u);
+    sim.run();
+    EXPECT_EQ(fired, 3);
+}
+
+TEST(SimulatorTest, RunUntilWithNoEventsAdvancesClock)
+{
+    Simulator sim;
+    sim.runUntil(seconds(10));
+    EXPECT_EQ(sim.now(), seconds(10));
+}
+
+TEST(SimulatorTest, StopEndsRunEarly)
+{
+    Simulator sim;
+    int fired = 0;
+    sim.schedule(10, [&] {
+        ++fired;
+        sim.stop();
+    });
+    sim.schedule(20, [&] { ++fired; });
+    sim.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(sim.pendingEvents(), 1u);
+    // A new run resumes.
+    sim.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution)
+{
+    Simulator sim;
+    bool fired = false;
+    EventId id = sim.schedule(10, [&] { fired = true; });
+    EXPECT_TRUE(sim.cancel(id));
+    sim.run();
+    EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, RngIsDeterministicPerSeed)
+{
+    Simulator a(123), b(123), c(456);
+    double va = a.rng().uniform();
+    double vb = b.rng().uniform();
+    double vc = c.rng().uniform();
+    EXPECT_DOUBLE_EQ(va, vb);
+    EXPECT_NE(va, vc);
+}
+
+TEST(SimulatorTest, ManyEventsAllRun)
+{
+    Simulator sim;
+    int count = 0;
+    for (int i = 0; i < 10000; ++i)
+        sim.schedule(i, [&] { ++count; });
+    sim.run();
+    EXPECT_EQ(count, 10000);
+    EXPECT_EQ(sim.eventsProcessed(), 10000u);
+}
+
+} // namespace
+} // namespace vcp

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Tests for time/byte unit helpers and their formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/types.hh"
+
+namespace vcp {
+namespace {
+
+TEST(TypesTest, DurationConstructors)
+{
+    EXPECT_EQ(usec(1), 1);
+    EXPECT_EQ(msec(1), 1000);
+    EXPECT_EQ(seconds(1), 1000000);
+    EXPECT_EQ(minutes(1), 60 * seconds(1));
+    EXPECT_EQ(hours(1), 60 * minutes(1));
+    EXPECT_EQ(days(1), 24 * hours(1));
+}
+
+TEST(TypesTest, FractionalDurations)
+{
+    EXPECT_EQ(seconds(0.5), 500000);
+    EXPECT_EQ(msec(2.5), 2500);
+}
+
+TEST(TypesTest, RoundTripConversions)
+{
+    EXPECT_DOUBLE_EQ(toSeconds(seconds(42)), 42.0);
+    EXPECT_DOUBLE_EQ(toMsec(msec(7)), 7.0);
+    EXPECT_DOUBLE_EQ(toHours(hours(3)), 3.0);
+    EXPECT_DOUBLE_EQ(toMinutes(minutes(5)), 5.0);
+    EXPECT_DOUBLE_EQ(toUsec(usec(9)), 9.0);
+}
+
+TEST(TypesTest, FormatTimeSeconds)
+{
+    EXPECT_EQ(formatTime(seconds(1.5)), "1.500s");
+}
+
+TEST(TypesTest, FormatTimeMinutes)
+{
+    EXPECT_EQ(formatTime(minutes(2) + seconds(3)), "2m03.000s");
+}
+
+TEST(TypesTest, FormatTimeHours)
+{
+    EXPECT_EQ(formatTime(hours(1) + minutes(2) + seconds(3)),
+              "1h02m03.000s");
+}
+
+TEST(TypesTest, FormatTimeDays)
+{
+    EXPECT_EQ(formatTime(days(2) + hours(3)), "2d03h00m00.000s");
+}
+
+TEST(TypesTest, FormatTimeNegative)
+{
+    EXPECT_EQ(formatTime(-seconds(1)), "-1.000s");
+}
+
+TEST(TypesTest, ByteConstructors)
+{
+    EXPECT_EQ(kib(1), 1024);
+    EXPECT_EQ(mib(1), 1024 * 1024);
+    EXPECT_EQ(gib(1), 1024LL * 1024 * 1024);
+}
+
+TEST(TypesTest, FormatBytes)
+{
+    EXPECT_EQ(formatBytes(512), "512 B");
+    EXPECT_EQ(formatBytes(kib(1)), "1.00 KiB");
+    EXPECT_EQ(formatBytes(mib(1.5)), "1.50 MiB");
+    EXPECT_EQ(formatBytes(gib(2)), "2.00 GiB");
+}
+
+} // namespace
+} // namespace vcp

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Tests for the named statistics registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/registry.hh"
+
+namespace vcp {
+namespace {
+
+TEST(StatRegistryTest, CounterLifecycle)
+{
+    StatRegistry reg;
+    reg.counter("a.b").inc();
+    reg.counter("a.b").inc(4);
+    EXPECT_EQ(reg.counter("a.b").value(), 5u);
+    EXPECT_TRUE(reg.has("a.b"));
+    EXPECT_FALSE(reg.has("a.c"));
+}
+
+TEST(StatRegistryTest, GaugeSetsAndAdds)
+{
+    StatRegistry reg;
+    reg.gauge("g").set(3.0);
+    reg.gauge("g").add(-1.5);
+    EXPECT_DOUBLE_EQ(reg.gauge("g").value(), 1.5);
+}
+
+TEST(StatRegistryTest, HistogramCreateOnceParamsSticky)
+{
+    StatRegistry reg;
+    Histogram &h1 = reg.histogram("h", 1.0, 2.0);
+    // Second call with different params returns the same histogram.
+    Histogram &h2 = reg.histogram("h", 100.0, 3.0);
+    EXPECT_EQ(&h1, &h2);
+    h1.add(5.0);
+    EXPECT_EQ(reg.histogram("h").count(), 1u);
+}
+
+TEST(StatRegistryTest, SummaryAccumulates)
+{
+    StatRegistry reg;
+    reg.summary("s").add(2.0);
+    reg.summary("s").add(4.0);
+    EXPECT_DOUBLE_EQ(reg.summary("s").mean(), 3.0);
+}
+
+TEST(StatRegistryTest, NamesSortedAcrossKinds)
+{
+    StatRegistry reg;
+    reg.counter("z");
+    reg.gauge("a");
+    reg.histogram("m");
+    reg.summary("b");
+    auto names = reg.names();
+    ASSERT_EQ(names.size(), 4u);
+    EXPECT_EQ(names[0], "a");
+    EXPECT_EQ(names[3], "z");
+}
+
+TEST(StatRegistryTest, ResetAllClearsEverything)
+{
+    StatRegistry reg;
+    reg.counter("c").inc();
+    reg.gauge("g").set(1.0);
+    reg.histogram("h").add(1.0);
+    reg.summary("s").add(1.0);
+    reg.resetAll();
+    EXPECT_EQ(reg.counter("c").value(), 0u);
+    EXPECT_DOUBLE_EQ(reg.gauge("g").value(), 0.0);
+    EXPECT_EQ(reg.histogram("h").count(), 0u);
+    EXPECT_EQ(reg.summary("s").count(), 0u);
+}
+
+TEST(StatRegistryTest, CsvContainsAllStats)
+{
+    StatRegistry reg;
+    reg.counter("ops").inc(7);
+    reg.histogram("lat").add(100.0);
+    std::string csv = reg.toCsv();
+    EXPECT_NE(csv.find("ops,counter,value,7"), std::string::npos);
+    EXPECT_NE(csv.find("lat,histogram,count,1"), std::string::npos);
+    EXPECT_NE(csv.find("lat,histogram,p95"), std::string::npos);
+}
+
+TEST(StatRegistryTest, ToStringHumanReadable)
+{
+    StatRegistry reg;
+    reg.counter("x.y").inc(3);
+    std::string s = reg.toString();
+    EXPECT_NE(s.find("x.y"), std::string::npos);
+    EXPECT_NE(s.find("3"), std::string::npos);
+}
+
+} // namespace
+} // namespace vcp

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests for trace recording and CSV round-tripping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+#include "workload/trace.hh"
+
+namespace vcp {
+namespace {
+
+TEST(ActionTraceTest, CsvRoundTrip)
+{
+    ActionTrace t;
+    t.add({seconds(1), CloudAction::Deploy, 3, 1});
+    t.add({seconds(2), CloudAction::PowerCycle, 0, 0});
+    t.add({seconds(3), CloudAction::EarlyUndeploy, 7, 2});
+
+    ActionTrace back = ActionTrace::fromCsv(t.toCsv());
+    ASSERT_EQ(back.size(), 3u);
+    EXPECT_EQ(back.all()[0].time, seconds(1));
+    EXPECT_EQ(back.all()[0].action, CloudAction::Deploy);
+    EXPECT_EQ(back.all()[0].tenant_index, 3);
+    EXPECT_EQ(back.all()[0].template_index, 1);
+    EXPECT_EQ(back.all()[2].action, CloudAction::EarlyUndeploy);
+}
+
+TEST(ActionTraceTest, MalformedCsvFatal)
+{
+    EXPECT_THROW(
+        ActionTrace::fromCsv("time_us,action,tenant,template\n1,2\n"),
+        FatalError);
+    EXPECT_THROW(ActionTrace::fromCsv(
+                     "time_us,action,tenant,template\n1,bogus,0,0\n"),
+                 FatalError);
+}
+
+TEST(ActionTraceTest, EmptyCsvGivesEmptyTrace)
+{
+    ActionTrace t =
+        ActionTrace::fromCsv("time_us,action,tenant,template\n");
+    EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(OpTraceTest, RecordsTaskFields)
+{
+    OpRequest req;
+    req.type = OpType::CloneLinked;
+    Task task(TaskId(1), req);
+    task.markSubmitted(seconds(10));
+    task.markStarted(seconds(11));
+    task.addPhaseTime(TaskPhase::Db, msec(100));
+    task.addPhaseTime(TaskPhase::HostAgent, seconds(2));
+    task.markFinished(seconds(14), TaskError::None);
+
+    OpTrace trace;
+    trace.add(task);
+    ASSERT_EQ(trace.size(), 1u);
+    const OpRecord &r = trace.all()[0];
+    EXPECT_EQ(r.submitted, seconds(10));
+    EXPECT_EQ(r.type, OpType::CloneLinked);
+    EXPECT_EQ(r.latency, seconds(4));
+    EXPECT_TRUE(r.success);
+    EXPECT_EQ(r.phases[static_cast<std::size_t>(TaskPhase::Db)],
+              msec(100));
+}
+
+TEST(OpTraceTest, CountsByTypeAndCategory)
+{
+    OpTrace trace;
+    auto add = [&](OpType t, bool ok) {
+        OpRequest req;
+        req.type = t;
+        Task task(TaskId(1), req);
+        task.markSubmitted(0);
+        task.markStarted(0);
+        task.markFinished(seconds(1), ok ? TaskError::None
+                                         : TaskError::InvalidState);
+        trace.add(task);
+    };
+    add(OpType::PowerOn, true);
+    add(OpType::PowerOn, false);
+    add(OpType::CloneLinked, true);
+    add(OpType::Migrate, true);
+
+    auto by_type = trace.countsByType();
+    EXPECT_EQ(by_type[static_cast<std::size_t>(OpType::PowerOn)], 2u);
+    EXPECT_EQ(by_type[static_cast<std::size_t>(OpType::CloneLinked)],
+              1u);
+
+    auto by_cat = trace.countsByCategory();
+    EXPECT_EQ(by_cat[static_cast<std::size_t>(OpCategory::Power)],
+              2u);
+    EXPECT_EQ(by_cat[static_cast<std::size_t>(OpCategory::Mobility)],
+              1u);
+
+    // Mean latency only counts successes.
+    EXPECT_DOUBLE_EQ(trace.meanLatency(OpType::PowerOn),
+                     static_cast<double>(seconds(1)));
+    EXPECT_DOUBLE_EQ(trace.meanLatency(OpType::Destroy), 0.0);
+}
+
+TEST(OpTraceTest, CsvRoundTrip)
+{
+    OpTrace trace;
+    OpRequest req;
+    req.type = OpType::CloneFull;
+    Task task(TaskId(1), req);
+    task.markSubmitted(seconds(5));
+    task.markStarted(seconds(5));
+    task.addPhaseTime(TaskPhase::DataCopy, seconds(30));
+    task.markFinished(seconds(40), TaskError::OutOfSpace);
+    trace.add(task);
+
+    OpTrace back = OpTrace::fromCsv(trace.toCsv());
+    ASSERT_EQ(back.size(), 1u);
+    const OpRecord &r = back.all()[0];
+    EXPECT_EQ(r.type, OpType::CloneFull);
+    EXPECT_EQ(r.submitted, seconds(5));
+    EXPECT_EQ(r.latency, seconds(35));
+    EXPECT_FALSE(r.success);
+    EXPECT_EQ(r.error, TaskError::OutOfSpace);
+    EXPECT_EQ(r.phases[static_cast<std::size_t>(TaskPhase::DataCopy)],
+              seconds(30));
+}
+
+TEST(OpTraceTest, MalformedCsvFatal)
+{
+    EXPECT_THROW(OpTrace::fromCsv("header\nnot,enough,fields\n"),
+                 FatalError);
+}
+
+} // namespace
+} // namespace vcp

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * vcpsim — command-line front end for the simulator.
+ *
+ * Runs one of the built-in cloud profiles (optionally tweaked from
+ * the command line), prints the operator-facing summary, and can
+ * dump the operation/action traces and the statistics registry as
+ * CSV for offline analysis.
+ *
+ *   vcpsim cloud-a --hours 24 --seed 7 --dump-ops ops.csv
+ *   vcpsim cloud-b --rate 80 --full-clones --stats stats.csv
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "analysis/bottleneck.hh"
+#include "analysis/report.hh"
+#include "cloud/ha_manager.hh"
+#include "sim/logging.hh"
+#include "workload/failures.hh"
+#include "workload/profiles.hh"
+
+namespace {
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: vcpsim <cloud-a|cloud-b> [options]\n"
+        "  --hours N          simulated workload hours (default 24)\n"
+        "  --seed N           RNG seed (default 1)\n"
+        "  --rate R           override arrival rate (actions/hour)\n"
+        "  --hosts N          override host count\n"
+        "  --full-clones      disable linked clones\n"
+        "  --policy P         dispatch policy: fifo|fair-share|"
+        "priority\n"
+        "  --mtbf H           inject host failures (mean time "
+        "between failures, hours)\n"
+        "  --dump-ops FILE    write the finished-operation trace "
+        "CSV\n"
+        "  --dump-actions F   write the generator action trace CSV\n"
+        "  --stats FILE       write the statistics registry CSV\n"
+        "  --quiet            suppress warnings/info\n");
+}
+
+bool
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return false;
+    }
+    out << content;
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace vcp;
+    if (argc < 2) {
+        usage();
+        return 2;
+    }
+
+    CloudSetupSpec spec;
+    std::string profile = argv[1];
+    if (profile == "cloud-a") {
+        spec = cloudASpec();
+    } else if (profile == "cloud-b") {
+        spec = cloudBSpec();
+    } else {
+        usage();
+        return 2;
+    }
+
+    std::uint64_t seed = 1;
+    double mtbf_hours = 0.0;
+    std::string dump_ops, dump_actions, dump_stats;
+    spec.workload.record_ops = true;
+
+    for (int i = 2; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                usage();
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--hours") {
+            spec.workload.duration = hours(std::atof(next()));
+        } else if (arg == "--seed") {
+            seed = static_cast<std::uint64_t>(std::atoll(next()));
+        } else if (arg == "--rate") {
+            spec.workload.arrival.rate_per_hour = std::atof(next());
+        } else if (arg == "--hosts") {
+            spec.infra.hosts = std::atoi(next());
+        } else if (arg == "--mtbf") {
+            mtbf_hours = std::atof(next());
+        } else if (arg == "--full-clones") {
+            spec.director.use_linked_clones = false;
+        } else if (arg == "--policy") {
+            std::string p = next();
+            if (p == "fifo")
+                spec.server.policy = SchedPolicy::Fifo;
+            else if (p == "fair-share")
+                spec.server.policy = SchedPolicy::FairShare;
+            else if (p == "priority")
+                spec.server.policy = SchedPolicy::Priority;
+            else {
+                usage();
+                return 2;
+            }
+        } else if (arg == "--dump-ops") {
+            dump_ops = next();
+        } else if (arg == "--dump-actions") {
+            dump_actions = next();
+        } else if (arg == "--stats") {
+            dump_stats = next();
+        } else if (arg == "--quiet") {
+            setLogQuiet(true);
+        } else {
+            usage();
+            return 2;
+        }
+    }
+
+    std::printf("vcpsim: profile=%s hours=%.1f seed=%llu linked=%s\n",
+                spec.name.c_str(), toHours(spec.workload.duration),
+                (unsigned long long)seed,
+                spec.director.use_linked_clones ? "yes" : "no");
+
+    CloudSimulation cs(spec, seed);
+
+    HaManager ha(cs.server());
+    FailureConfig fcfg;
+    fcfg.mtbf = hours(mtbf_hours);
+    FailureInjector injector(ha, fcfg, cs.sim().rng().fork());
+    if (mtbf_hours > 0.0)
+        injector.start();
+
+    cs.run();
+
+    CloudDirector &cloud = cs.cloud();
+    ManagementServer &srv = cs.server();
+    std::printf("\nsimulated %s\n",
+                formatTime(cs.sim().now()).c_str());
+    std::printf("deploys: %llu ok / %llu failed; undeploys %llu; "
+                "lease expirations %llu\n",
+                (unsigned long long)cloud.deploysSucceeded(),
+                (unsigned long long)cloud.deploysFailed(),
+                (unsigned long long)cloud.undeploysCompleted(),
+                (unsigned long long)cloud.leases().expirations());
+    std::printf("VMs: %llu provisioned, %llu destroyed, %zu live\n",
+                (unsigned long long)cloud.vmsProvisioned(),
+                (unsigned long long)cloud.vmsDestroyed(),
+                cs.inventory().numVms() - cs.templateIds().size());
+    std::printf("management ops: %llu completed, %llu failed; %s "
+                "moved\n",
+                (unsigned long long)srv.opsCompleted(),
+                (unsigned long long)srv.opsFailed(),
+                formatBytes(srv.bytesMoved()).c_str());
+
+    if (mtbf_hours > 0.0) {
+        std::printf("failures: %llu outages, %llu recoveries, "
+                    "%llu VMs crashed, %llu restarted (%llu restart "
+                    "failures)\n",
+                    (unsigned long long)injector.outages(),
+                    (unsigned long long)injector.recoveries(),
+                    (unsigned long long)ha.vmsCrashed(),
+                    (unsigned long long)ha.vmsRestarted(),
+                    (unsigned long long)ha.restartFailures());
+    }
+
+    auto utils = collectUtilizations(srv);
+    std::printf("bottleneck: %s (%s plane)\n",
+                bottleneckResource(utils).c_str(),
+                controlPlaneLimited(utils) ? "control" : "data");
+
+    bool ok = true;
+    if (!dump_ops.empty())
+        ok &= writeFile(dump_ops, cs.driver().ops().toCsv());
+    if (!dump_actions.empty())
+        ok &= writeFile(dump_actions,
+                        cs.driver().actions().toCsv());
+    if (!dump_stats.empty())
+        ok &= writeFile(dump_stats, cs.stats().toCsv());
+    return ok ? 0 : 1;
+}
