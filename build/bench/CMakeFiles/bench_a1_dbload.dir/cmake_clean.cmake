@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a1_dbload.dir/bench_a1_dbload.cpp.o"
+  "CMakeFiles/bench_a1_dbload.dir/bench_a1_dbload.cpp.o.d"
+  "bench_a1_dbload"
+  "bench_a1_dbload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a1_dbload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

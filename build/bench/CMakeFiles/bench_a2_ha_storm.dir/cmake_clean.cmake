@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a2_ha_storm.dir/bench_a2_ha_storm.cpp.o"
+  "CMakeFiles/bench_a2_ha_storm.dir/bench_a2_ha_storm.cpp.o.d"
+  "bench_a2_ha_storm"
+  "bench_a2_ha_storm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a2_ha_storm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a3_federation.dir/bench_a3_federation.cpp.o"
+  "CMakeFiles/bench_a3_federation.dir/bench_a3_federation.cpp.o.d"
+  "bench_a3_federation"
+  "bench_a3_federation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a3_federation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f2_clone.dir/bench_f2_clone.cpp.o"
+  "CMakeFiles/bench_f2_clone.dir/bench_f2_clone.cpp.o.d"
+  "bench_f2_clone"
+  "bench_f2_clone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f2_clone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f3_saturation.dir/bench_f3_saturation.cpp.o"
+  "CMakeFiles/bench_f3_saturation.dir/bench_f3_saturation.cpp.o.d"
+  "bench_f3_saturation"
+  "bench_f3_saturation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f3_saturation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

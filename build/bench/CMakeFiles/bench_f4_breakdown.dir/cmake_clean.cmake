@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f4_breakdown.dir/bench_f4_breakdown.cpp.o"
+  "CMakeFiles/bench_f4_breakdown.dir/bench_f4_breakdown.cpp.o.d"
+  "bench_f4_breakdown"
+  "bench_f4_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f4_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

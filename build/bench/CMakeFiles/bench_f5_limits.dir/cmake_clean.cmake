@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f5_limits.dir/bench_f5_limits.cpp.o"
+  "CMakeFiles/bench_f5_limits.dir/bench_f5_limits.cpp.o.d"
+  "bench_f5_limits"
+  "bench_f5_limits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f5_limits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_f8_sched.cpp" "bench/CMakeFiles/bench_f8_sched.dir/bench_f8_sched.cpp.o" "gcc" "bench/CMakeFiles/bench_f8_sched.dir/bench_f8_sched.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/vcp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/vcp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/vcp_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/controlplane/CMakeFiles/vcp_controlplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/infra/CMakeFiles/vcp_infra.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/vcp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vcp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f8_sched.dir/bench_f8_sched.cpp.o"
+  "CMakeFiles/bench_f8_sched.dir/bench_f8_sched.cpp.o.d"
+  "bench_f8_sched"
+  "bench_f8_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f8_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

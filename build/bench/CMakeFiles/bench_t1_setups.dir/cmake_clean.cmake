@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t1_setups.dir/bench_t1_setups.cpp.o"
+  "CMakeFiles/bench_t1_setups.dir/bench_t1_setups.cpp.o.d"
+  "bench_t1_setups"
+  "bench_t1_setups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t1_setups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

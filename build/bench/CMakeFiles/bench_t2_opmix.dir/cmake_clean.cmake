@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t2_opmix.dir/bench_t2_opmix.cpp.o"
+  "CMakeFiles/bench_t2_opmix.dir/bench_t2_opmix.cpp.o.d"
+  "bench_t2_opmix"
+  "bench_t2_opmix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t2_opmix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/provisioning_storm.dir/provisioning_storm.cpp.o"
+  "CMakeFiles/provisioning_storm.dir/provisioning_storm.cpp.o.d"
+  "provisioning_storm"
+  "provisioning_storm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/provisioning_storm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reconfiguration_study.dir/reconfiguration_study.cpp.o"
+  "CMakeFiles/reconfiguration_study.dir/reconfiguration_study.cpp.o.d"
+  "reconfiguration_study"
+  "reconfiguration_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reconfiguration_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

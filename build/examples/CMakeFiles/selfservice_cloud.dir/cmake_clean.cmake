@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selfservice_cloud.dir/selfservice_cloud.cpp.o"
+  "CMakeFiles/selfservice_cloud.dir/selfservice_cloud.cpp.o.d"
+  "selfservice_cloud"
+  "selfservice_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selfservice_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcp_analysis.dir/bottleneck.cc.o"
+  "CMakeFiles/vcp_analysis.dir/bottleneck.cc.o.d"
+  "CMakeFiles/vcp_analysis.dir/breakdown.cc.o"
+  "CMakeFiles/vcp_analysis.dir/breakdown.cc.o.d"
+  "CMakeFiles/vcp_analysis.dir/queueing.cc.o"
+  "CMakeFiles/vcp_analysis.dir/queueing.cc.o.d"
+  "CMakeFiles/vcp_analysis.dir/report.cc.o"
+  "CMakeFiles/vcp_analysis.dir/report.cc.o.d"
+  "libvcp_analysis.a"
+  "libvcp_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcp_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

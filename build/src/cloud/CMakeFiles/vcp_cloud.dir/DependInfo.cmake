@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cloud/catalog.cc" "src/cloud/CMakeFiles/vcp_cloud.dir/catalog.cc.o" "gcc" "src/cloud/CMakeFiles/vcp_cloud.dir/catalog.cc.o.d"
+  "/root/repo/src/cloud/cloud_director.cc" "src/cloud/CMakeFiles/vcp_cloud.dir/cloud_director.cc.o" "gcc" "src/cloud/CMakeFiles/vcp_cloud.dir/cloud_director.cc.o.d"
+  "/root/repo/src/cloud/federation.cc" "src/cloud/CMakeFiles/vcp_cloud.dir/federation.cc.o" "gcc" "src/cloud/CMakeFiles/vcp_cloud.dir/federation.cc.o.d"
+  "/root/repo/src/cloud/ha_manager.cc" "src/cloud/CMakeFiles/vcp_cloud.dir/ha_manager.cc.o" "gcc" "src/cloud/CMakeFiles/vcp_cloud.dir/ha_manager.cc.o.d"
+  "/root/repo/src/cloud/lease_manager.cc" "src/cloud/CMakeFiles/vcp_cloud.dir/lease_manager.cc.o" "gcc" "src/cloud/CMakeFiles/vcp_cloud.dir/lease_manager.cc.o.d"
+  "/root/repo/src/cloud/placement.cc" "src/cloud/CMakeFiles/vcp_cloud.dir/placement.cc.o" "gcc" "src/cloud/CMakeFiles/vcp_cloud.dir/placement.cc.o.d"
+  "/root/repo/src/cloud/pool_manager.cc" "src/cloud/CMakeFiles/vcp_cloud.dir/pool_manager.cc.o" "gcc" "src/cloud/CMakeFiles/vcp_cloud.dir/pool_manager.cc.o.d"
+  "/root/repo/src/cloud/storage_rebalancer.cc" "src/cloud/CMakeFiles/vcp_cloud.dir/storage_rebalancer.cc.o" "gcc" "src/cloud/CMakeFiles/vcp_cloud.dir/storage_rebalancer.cc.o.d"
+  "/root/repo/src/cloud/vapp.cc" "src/cloud/CMakeFiles/vcp_cloud.dir/vapp.cc.o" "gcc" "src/cloud/CMakeFiles/vcp_cloud.dir/vapp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/controlplane/CMakeFiles/vcp_controlplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/infra/CMakeFiles/vcp_infra.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/vcp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vcp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

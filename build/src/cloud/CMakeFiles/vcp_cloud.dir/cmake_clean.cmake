@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcp_cloud.dir/catalog.cc.o"
+  "CMakeFiles/vcp_cloud.dir/catalog.cc.o.d"
+  "CMakeFiles/vcp_cloud.dir/cloud_director.cc.o"
+  "CMakeFiles/vcp_cloud.dir/cloud_director.cc.o.d"
+  "CMakeFiles/vcp_cloud.dir/federation.cc.o"
+  "CMakeFiles/vcp_cloud.dir/federation.cc.o.d"
+  "CMakeFiles/vcp_cloud.dir/ha_manager.cc.o"
+  "CMakeFiles/vcp_cloud.dir/ha_manager.cc.o.d"
+  "CMakeFiles/vcp_cloud.dir/lease_manager.cc.o"
+  "CMakeFiles/vcp_cloud.dir/lease_manager.cc.o.d"
+  "CMakeFiles/vcp_cloud.dir/placement.cc.o"
+  "CMakeFiles/vcp_cloud.dir/placement.cc.o.d"
+  "CMakeFiles/vcp_cloud.dir/pool_manager.cc.o"
+  "CMakeFiles/vcp_cloud.dir/pool_manager.cc.o.d"
+  "CMakeFiles/vcp_cloud.dir/storage_rebalancer.cc.o"
+  "CMakeFiles/vcp_cloud.dir/storage_rebalancer.cc.o.d"
+  "CMakeFiles/vcp_cloud.dir/vapp.cc.o"
+  "CMakeFiles/vcp_cloud.dir/vapp.cc.o.d"
+  "libvcp_cloud.a"
+  "libvcp_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcp_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

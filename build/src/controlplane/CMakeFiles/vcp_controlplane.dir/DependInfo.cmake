@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/controlplane/cost_model.cc" "src/controlplane/CMakeFiles/vcp_controlplane.dir/cost_model.cc.o" "gcc" "src/controlplane/CMakeFiles/vcp_controlplane.dir/cost_model.cc.o.d"
+  "/root/repo/src/controlplane/database.cc" "src/controlplane/CMakeFiles/vcp_controlplane.dir/database.cc.o" "gcc" "src/controlplane/CMakeFiles/vcp_controlplane.dir/database.cc.o.d"
+  "/root/repo/src/controlplane/host_agent.cc" "src/controlplane/CMakeFiles/vcp_controlplane.dir/host_agent.cc.o" "gcc" "src/controlplane/CMakeFiles/vcp_controlplane.dir/host_agent.cc.o.d"
+  "/root/repo/src/controlplane/lock_manager.cc" "src/controlplane/CMakeFiles/vcp_controlplane.dir/lock_manager.cc.o" "gcc" "src/controlplane/CMakeFiles/vcp_controlplane.dir/lock_manager.cc.o.d"
+  "/root/repo/src/controlplane/management_server.cc" "src/controlplane/CMakeFiles/vcp_controlplane.dir/management_server.cc.o" "gcc" "src/controlplane/CMakeFiles/vcp_controlplane.dir/management_server.cc.o.d"
+  "/root/repo/src/controlplane/op_types.cc" "src/controlplane/CMakeFiles/vcp_controlplane.dir/op_types.cc.o" "gcc" "src/controlplane/CMakeFiles/vcp_controlplane.dir/op_types.cc.o.d"
+  "/root/repo/src/controlplane/rate_limiter.cc" "src/controlplane/CMakeFiles/vcp_controlplane.dir/rate_limiter.cc.o" "gcc" "src/controlplane/CMakeFiles/vcp_controlplane.dir/rate_limiter.cc.o.d"
+  "/root/repo/src/controlplane/scheduler.cc" "src/controlplane/CMakeFiles/vcp_controlplane.dir/scheduler.cc.o" "gcc" "src/controlplane/CMakeFiles/vcp_controlplane.dir/scheduler.cc.o.d"
+  "/root/repo/src/controlplane/task.cc" "src/controlplane/CMakeFiles/vcp_controlplane.dir/task.cc.o" "gcc" "src/controlplane/CMakeFiles/vcp_controlplane.dir/task.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/infra/CMakeFiles/vcp_infra.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/vcp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vcp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

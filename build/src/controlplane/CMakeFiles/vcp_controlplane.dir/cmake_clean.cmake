@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcp_controlplane.dir/cost_model.cc.o"
+  "CMakeFiles/vcp_controlplane.dir/cost_model.cc.o.d"
+  "CMakeFiles/vcp_controlplane.dir/database.cc.o"
+  "CMakeFiles/vcp_controlplane.dir/database.cc.o.d"
+  "CMakeFiles/vcp_controlplane.dir/host_agent.cc.o"
+  "CMakeFiles/vcp_controlplane.dir/host_agent.cc.o.d"
+  "CMakeFiles/vcp_controlplane.dir/lock_manager.cc.o"
+  "CMakeFiles/vcp_controlplane.dir/lock_manager.cc.o.d"
+  "CMakeFiles/vcp_controlplane.dir/management_server.cc.o"
+  "CMakeFiles/vcp_controlplane.dir/management_server.cc.o.d"
+  "CMakeFiles/vcp_controlplane.dir/op_types.cc.o"
+  "CMakeFiles/vcp_controlplane.dir/op_types.cc.o.d"
+  "CMakeFiles/vcp_controlplane.dir/rate_limiter.cc.o"
+  "CMakeFiles/vcp_controlplane.dir/rate_limiter.cc.o.d"
+  "CMakeFiles/vcp_controlplane.dir/scheduler.cc.o"
+  "CMakeFiles/vcp_controlplane.dir/scheduler.cc.o.d"
+  "CMakeFiles/vcp_controlplane.dir/task.cc.o"
+  "CMakeFiles/vcp_controlplane.dir/task.cc.o.d"
+  "libvcp_controlplane.a"
+  "libvcp_controlplane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcp_controlplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

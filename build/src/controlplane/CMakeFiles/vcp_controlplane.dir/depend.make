@@ -1,0 +1,2 @@
+# Empty dependencies file for vcp_controlplane.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/infra/bandwidth.cc" "src/infra/CMakeFiles/vcp_infra.dir/bandwidth.cc.o" "gcc" "src/infra/CMakeFiles/vcp_infra.dir/bandwidth.cc.o.d"
+  "/root/repo/src/infra/cluster.cc" "src/infra/CMakeFiles/vcp_infra.dir/cluster.cc.o" "gcc" "src/infra/CMakeFiles/vcp_infra.dir/cluster.cc.o.d"
+  "/root/repo/src/infra/datastore.cc" "src/infra/CMakeFiles/vcp_infra.dir/datastore.cc.o" "gcc" "src/infra/CMakeFiles/vcp_infra.dir/datastore.cc.o.d"
+  "/root/repo/src/infra/disk.cc" "src/infra/CMakeFiles/vcp_infra.dir/disk.cc.o" "gcc" "src/infra/CMakeFiles/vcp_infra.dir/disk.cc.o.d"
+  "/root/repo/src/infra/host.cc" "src/infra/CMakeFiles/vcp_infra.dir/host.cc.o" "gcc" "src/infra/CMakeFiles/vcp_infra.dir/host.cc.o.d"
+  "/root/repo/src/infra/inventory.cc" "src/infra/CMakeFiles/vcp_infra.dir/inventory.cc.o" "gcc" "src/infra/CMakeFiles/vcp_infra.dir/inventory.cc.o.d"
+  "/root/repo/src/infra/network.cc" "src/infra/CMakeFiles/vcp_infra.dir/network.cc.o" "gcc" "src/infra/CMakeFiles/vcp_infra.dir/network.cc.o.d"
+  "/root/repo/src/infra/vm.cc" "src/infra/CMakeFiles/vcp_infra.dir/vm.cc.o" "gcc" "src/infra/CMakeFiles/vcp_infra.dir/vm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/vcp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/vcp_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

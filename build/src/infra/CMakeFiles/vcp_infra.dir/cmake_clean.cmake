@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcp_infra.dir/bandwidth.cc.o"
+  "CMakeFiles/vcp_infra.dir/bandwidth.cc.o.d"
+  "CMakeFiles/vcp_infra.dir/cluster.cc.o"
+  "CMakeFiles/vcp_infra.dir/cluster.cc.o.d"
+  "CMakeFiles/vcp_infra.dir/datastore.cc.o"
+  "CMakeFiles/vcp_infra.dir/datastore.cc.o.d"
+  "CMakeFiles/vcp_infra.dir/disk.cc.o"
+  "CMakeFiles/vcp_infra.dir/disk.cc.o.d"
+  "CMakeFiles/vcp_infra.dir/host.cc.o"
+  "CMakeFiles/vcp_infra.dir/host.cc.o.d"
+  "CMakeFiles/vcp_infra.dir/inventory.cc.o"
+  "CMakeFiles/vcp_infra.dir/inventory.cc.o.d"
+  "CMakeFiles/vcp_infra.dir/network.cc.o"
+  "CMakeFiles/vcp_infra.dir/network.cc.o.d"
+  "CMakeFiles/vcp_infra.dir/vm.cc.o"
+  "CMakeFiles/vcp_infra.dir/vm.cc.o.d"
+  "libvcp_infra.a"
+  "libvcp_infra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcp_infra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvcp_infra.a"
+)

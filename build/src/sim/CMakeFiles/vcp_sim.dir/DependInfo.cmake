@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/event_queue.cc" "src/sim/CMakeFiles/vcp_sim.dir/event_queue.cc.o" "gcc" "src/sim/CMakeFiles/vcp_sim.dir/event_queue.cc.o.d"
+  "/root/repo/src/sim/logging.cc" "src/sim/CMakeFiles/vcp_sim.dir/logging.cc.o" "gcc" "src/sim/CMakeFiles/vcp_sim.dir/logging.cc.o.d"
+  "/root/repo/src/sim/random.cc" "src/sim/CMakeFiles/vcp_sim.dir/random.cc.o" "gcc" "src/sim/CMakeFiles/vcp_sim.dir/random.cc.o.d"
+  "/root/repo/src/sim/service_center.cc" "src/sim/CMakeFiles/vcp_sim.dir/service_center.cc.o" "gcc" "src/sim/CMakeFiles/vcp_sim.dir/service_center.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/sim/CMakeFiles/vcp_sim.dir/simulator.cc.o" "gcc" "src/sim/CMakeFiles/vcp_sim.dir/simulator.cc.o.d"
+  "/root/repo/src/sim/summary.cc" "src/sim/CMakeFiles/vcp_sim.dir/summary.cc.o" "gcc" "src/sim/CMakeFiles/vcp_sim.dir/summary.cc.o.d"
+  "/root/repo/src/sim/types.cc" "src/sim/CMakeFiles/vcp_sim.dir/types.cc.o" "gcc" "src/sim/CMakeFiles/vcp_sim.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

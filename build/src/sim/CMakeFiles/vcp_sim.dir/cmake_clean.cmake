@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcp_sim.dir/event_queue.cc.o"
+  "CMakeFiles/vcp_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/vcp_sim.dir/logging.cc.o"
+  "CMakeFiles/vcp_sim.dir/logging.cc.o.d"
+  "CMakeFiles/vcp_sim.dir/random.cc.o"
+  "CMakeFiles/vcp_sim.dir/random.cc.o.d"
+  "CMakeFiles/vcp_sim.dir/service_center.cc.o"
+  "CMakeFiles/vcp_sim.dir/service_center.cc.o.d"
+  "CMakeFiles/vcp_sim.dir/simulator.cc.o"
+  "CMakeFiles/vcp_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/vcp_sim.dir/summary.cc.o"
+  "CMakeFiles/vcp_sim.dir/summary.cc.o.d"
+  "CMakeFiles/vcp_sim.dir/types.cc.o"
+  "CMakeFiles/vcp_sim.dir/types.cc.o.d"
+  "libvcp_sim.a"
+  "libvcp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcp_stats.dir/histogram.cc.o"
+  "CMakeFiles/vcp_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/vcp_stats.dir/registry.cc.o"
+  "CMakeFiles/vcp_stats.dir/registry.cc.o.d"
+  "CMakeFiles/vcp_stats.dir/table.cc.o"
+  "CMakeFiles/vcp_stats.dir/table.cc.o.d"
+  "CMakeFiles/vcp_stats.dir/timeseries.cc.o"
+  "CMakeFiles/vcp_stats.dir/timeseries.cc.o.d"
+  "libvcp_stats.a"
+  "libvcp_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcp_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

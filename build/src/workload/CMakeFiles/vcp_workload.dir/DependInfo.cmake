@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/actions.cc" "src/workload/CMakeFiles/vcp_workload.dir/actions.cc.o" "gcc" "src/workload/CMakeFiles/vcp_workload.dir/actions.cc.o.d"
+  "/root/repo/src/workload/arrival.cc" "src/workload/CMakeFiles/vcp_workload.dir/arrival.cc.o" "gcc" "src/workload/CMakeFiles/vcp_workload.dir/arrival.cc.o.d"
+  "/root/repo/src/workload/driver.cc" "src/workload/CMakeFiles/vcp_workload.dir/driver.cc.o" "gcc" "src/workload/CMakeFiles/vcp_workload.dir/driver.cc.o.d"
+  "/root/repo/src/workload/failures.cc" "src/workload/CMakeFiles/vcp_workload.dir/failures.cc.o" "gcc" "src/workload/CMakeFiles/vcp_workload.dir/failures.cc.o.d"
+  "/root/repo/src/workload/profiles.cc" "src/workload/CMakeFiles/vcp_workload.dir/profiles.cc.o" "gcc" "src/workload/CMakeFiles/vcp_workload.dir/profiles.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/workload/CMakeFiles/vcp_workload.dir/trace.cc.o" "gcc" "src/workload/CMakeFiles/vcp_workload.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cloud/CMakeFiles/vcp_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/controlplane/CMakeFiles/vcp_controlplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/infra/CMakeFiles/vcp_infra.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/vcp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vcp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

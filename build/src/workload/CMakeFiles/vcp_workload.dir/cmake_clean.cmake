@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcp_workload.dir/actions.cc.o"
+  "CMakeFiles/vcp_workload.dir/actions.cc.o.d"
+  "CMakeFiles/vcp_workload.dir/arrival.cc.o"
+  "CMakeFiles/vcp_workload.dir/arrival.cc.o.d"
+  "CMakeFiles/vcp_workload.dir/driver.cc.o"
+  "CMakeFiles/vcp_workload.dir/driver.cc.o.d"
+  "CMakeFiles/vcp_workload.dir/failures.cc.o"
+  "CMakeFiles/vcp_workload.dir/failures.cc.o.d"
+  "CMakeFiles/vcp_workload.dir/profiles.cc.o"
+  "CMakeFiles/vcp_workload.dir/profiles.cc.o.d"
+  "CMakeFiles/vcp_workload.dir/trace.cc.o"
+  "CMakeFiles/vcp_workload.dir/trace.cc.o.d"
+  "libvcp_workload.a"
+  "libvcp_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

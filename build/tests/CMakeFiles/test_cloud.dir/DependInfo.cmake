@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cloud/cloud_director_test.cc" "tests/CMakeFiles/test_cloud.dir/cloud/cloud_director_test.cc.o" "gcc" "tests/CMakeFiles/test_cloud.dir/cloud/cloud_director_test.cc.o.d"
+  "/root/repo/tests/cloud/federation_test.cc" "tests/CMakeFiles/test_cloud.dir/cloud/federation_test.cc.o" "gcc" "tests/CMakeFiles/test_cloud.dir/cloud/federation_test.cc.o.d"
+  "/root/repo/tests/cloud/ha_test.cc" "tests/CMakeFiles/test_cloud.dir/cloud/ha_test.cc.o" "gcc" "tests/CMakeFiles/test_cloud.dir/cloud/ha_test.cc.o.d"
+  "/root/repo/tests/cloud/placement_test.cc" "tests/CMakeFiles/test_cloud.dir/cloud/placement_test.cc.o" "gcc" "tests/CMakeFiles/test_cloud.dir/cloud/placement_test.cc.o.d"
+  "/root/repo/tests/cloud/pool_manager_test.cc" "tests/CMakeFiles/test_cloud.dir/cloud/pool_manager_test.cc.o" "gcc" "tests/CMakeFiles/test_cloud.dir/cloud/pool_manager_test.cc.o.d"
+  "/root/repo/tests/cloud/rebalancer_test.cc" "tests/CMakeFiles/test_cloud.dir/cloud/rebalancer_test.cc.o" "gcc" "tests/CMakeFiles/test_cloud.dir/cloud/rebalancer_test.cc.o.d"
+  "/root/repo/tests/cloud/tenant_test.cc" "tests/CMakeFiles/test_cloud.dir/cloud/tenant_test.cc.o" "gcc" "tests/CMakeFiles/test_cloud.dir/cloud/tenant_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/vcp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/vcp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/vcp_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/controlplane/CMakeFiles/vcp_controlplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/infra/CMakeFiles/vcp_infra.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/vcp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vcp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cloud.dir/cloud/cloud_director_test.cc.o"
+  "CMakeFiles/test_cloud.dir/cloud/cloud_director_test.cc.o.d"
+  "CMakeFiles/test_cloud.dir/cloud/federation_test.cc.o"
+  "CMakeFiles/test_cloud.dir/cloud/federation_test.cc.o.d"
+  "CMakeFiles/test_cloud.dir/cloud/ha_test.cc.o"
+  "CMakeFiles/test_cloud.dir/cloud/ha_test.cc.o.d"
+  "CMakeFiles/test_cloud.dir/cloud/placement_test.cc.o"
+  "CMakeFiles/test_cloud.dir/cloud/placement_test.cc.o.d"
+  "CMakeFiles/test_cloud.dir/cloud/pool_manager_test.cc.o"
+  "CMakeFiles/test_cloud.dir/cloud/pool_manager_test.cc.o.d"
+  "CMakeFiles/test_cloud.dir/cloud/rebalancer_test.cc.o"
+  "CMakeFiles/test_cloud.dir/cloud/rebalancer_test.cc.o.d"
+  "CMakeFiles/test_cloud.dir/cloud/tenant_test.cc.o"
+  "CMakeFiles/test_cloud.dir/cloud/tenant_test.cc.o.d"
+  "test_cloud"
+  "test_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

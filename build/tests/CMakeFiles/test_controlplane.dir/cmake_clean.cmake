@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_controlplane.dir/controlplane/cost_model_test.cc.o"
+  "CMakeFiles/test_controlplane.dir/controlplane/cost_model_test.cc.o.d"
+  "CMakeFiles/test_controlplane.dir/controlplane/database_test.cc.o"
+  "CMakeFiles/test_controlplane.dir/controlplane/database_test.cc.o.d"
+  "CMakeFiles/test_controlplane.dir/controlplane/lock_manager_test.cc.o"
+  "CMakeFiles/test_controlplane.dir/controlplane/lock_manager_test.cc.o.d"
+  "CMakeFiles/test_controlplane.dir/controlplane/management_server_test.cc.o"
+  "CMakeFiles/test_controlplane.dir/controlplane/management_server_test.cc.o.d"
+  "CMakeFiles/test_controlplane.dir/controlplane/ops_test.cc.o"
+  "CMakeFiles/test_controlplane.dir/controlplane/ops_test.cc.o.d"
+  "CMakeFiles/test_controlplane.dir/controlplane/rate_limiter_test.cc.o"
+  "CMakeFiles/test_controlplane.dir/controlplane/rate_limiter_test.cc.o.d"
+  "CMakeFiles/test_controlplane.dir/controlplane/scheduler_test.cc.o"
+  "CMakeFiles/test_controlplane.dir/controlplane/scheduler_test.cc.o.d"
+  "test_controlplane"
+  "test_controlplane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_controlplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_infra.dir/infra/bandwidth_test.cc.o"
+  "CMakeFiles/test_infra.dir/infra/bandwidth_test.cc.o.d"
+  "CMakeFiles/test_infra.dir/infra/host_test.cc.o"
+  "CMakeFiles/test_infra.dir/infra/host_test.cc.o.d"
+  "CMakeFiles/test_infra.dir/infra/inventory_test.cc.o"
+  "CMakeFiles/test_infra.dir/infra/inventory_test.cc.o.d"
+  "CMakeFiles/test_infra.dir/infra/network_test.cc.o"
+  "CMakeFiles/test_infra.dir/infra/network_test.cc.o.d"
+  "CMakeFiles/test_infra.dir/infra/vm_test.cc.o"
+  "CMakeFiles/test_infra.dir/infra/vm_test.cc.o.d"
+  "test_infra"
+  "test_infra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_infra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats.dir/stats/histogram_test.cc.o"
+  "CMakeFiles/test_stats.dir/stats/histogram_test.cc.o.d"
+  "CMakeFiles/test_stats.dir/stats/registry_test.cc.o"
+  "CMakeFiles/test_stats.dir/stats/registry_test.cc.o.d"
+  "CMakeFiles/test_stats.dir/stats/table_test.cc.o"
+  "CMakeFiles/test_stats.dir/stats/table_test.cc.o.d"
+  "CMakeFiles/test_stats.dir/stats/timeseries_test.cc.o"
+  "CMakeFiles/test_stats.dir/stats/timeseries_test.cc.o.d"
+  "test_stats"
+  "test_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

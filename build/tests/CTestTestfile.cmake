@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_sim "/root/repo/build/tests/test_sim")
+set_tests_properties(test_sim PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;12;vcp_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_stats "/root/repo/build/tests/test_stats")
+set_tests_properties(test_stats PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;21;vcp_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_infra "/root/repo/build/tests/test_infra")
+set_tests_properties(test_infra PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;28;vcp_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_controlplane "/root/repo/build/tests/test_controlplane")
+set_tests_properties(test_controlplane PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;36;vcp_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_cloud "/root/repo/build/tests/test_cloud")
+set_tests_properties(test_cloud PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;46;vcp_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_workload "/root/repo/build/tests/test_workload")
+set_tests_properties(test_workload PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;56;vcp_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_analysis "/root/repo/build/tests/test_analysis")
+set_tests_properties(test_analysis PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;62;vcp_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_integration "/root/repo/build/tests/test_integration")
+set_tests_properties(test_integration PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;66;vcp_test;/root/repo/tests/CMakeLists.txt;0;")

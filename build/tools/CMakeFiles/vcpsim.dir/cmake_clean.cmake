@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcpsim.dir/vcpsim.cc.o"
+  "CMakeFiles/vcpsim.dir/vcpsim.cc.o.d"
+  "vcpsim"
+  "vcpsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcpsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
