@@ -79,26 +79,35 @@ main(int argc, char **argv)
 {
     using namespace vcp;
     setLogQuiet(true);
-    int burst = argc > 1 ? std::atoi(argv[1]) : 1024;
+    SweepOptions opts = parseSweepOptions(argc, argv);
+    int burst = opts.positional.empty()
+        ? 1024
+        : std::atoi(opts.positional[0].c_str());
     banner("A3", "control-plane scale-out (burst of " +
                      std::to_string(burst) +
                      " deploys, fixed hardware)");
 
+    const std::vector<int> shard_counts = {1, 2, 4, 8};
+    std::vector<FedPoint> results(shard_counts.size());
+    makeSweepRunner(opts).run(results.size(), [&](std::size_t i) {
+        results[i] = run(shard_counts[i], burst,
+                         ParallelSweepRunner::forkSeed(111, i));
+    });
+
     Table t({"shards", "hosts/shard", "makespan_min",
              "throughput/h", "speedup"});
-    double base = 0.0;
-    for (int shards : {1, 2, 4, 8}) {
-        FedPoint p = run(shards, burst, 111);
-        if (shards == 1)
-            base = p.makespan_min;
+    double base = results[0].makespan_min;
+    for (std::size_t i = 0; i < shard_counts.size(); ++i) {
+        const FedPoint &p = results[i];
         t.row()
-            .cell(static_cast<std::int64_t>(shards))
-            .cell(static_cast<std::int64_t>(32 / shards))
+            .cell(static_cast<std::int64_t>(shard_counts[i]))
+            .cell(static_cast<std::int64_t>(32 / shard_counts[i]))
             .cell(p.makespan_min, 1)
             .cell(p.throughput_per_h, 0)
             .cell(base / p.makespan_min, 2);
     }
     printTable("burst makespan vs shard count", t);
+    maybeWriteCsv(opts, t);
     std::printf("expected shape: near-linear speedup while the "
                 "control plane binds; flattens once per-shard "
                 "hardware or data-plane limits take over.\n");

@@ -17,14 +17,14 @@ namespace {
 /** Time to complete a fixed batch of linked-clone deploys. */
 double
 batchMakespanMinutes(const vcp::ManagementServerConfig &server_cfg,
-                     int batch)
+                     int batch, std::uint64_t seed)
 {
     using namespace vcp;
     CloudSetupSpec spec = sweepCloud(true);
     spec.server = server_cfg;
     spec.workload.arrival.rate_per_hour = 1.0; // idle generator
     spec.workload.duration = seconds(1);
-    CloudSimulation cs(spec, 51);
+    CloudSimulation cs(spec, seed);
     int remaining = batch;
     SimTime done_at = 0;
     for (int i = 0; i < batch; ++i) {
@@ -51,42 +51,58 @@ main(int argc, char **argv)
 {
     using namespace vcp;
     setLogQuiet(true);
-    int batch = argc > 1 ? std::atoi(argv[1]) : 512;
+    SweepOptions opts = parseSweepOptions(argc, argv);
+    int batch = opts.positional.empty()
+        ? 512
+        : std::atoi(opts.positional[0].c_str());
     banner("F5", "admission-limit sweep (batch of " +
                      std::to_string(batch) + " linked clones)");
 
-    Table t({"knob", "value", "makespan_min", "throughput/h"});
-    auto add_row = [&](const char *knob, int value, double mins) {
-        t.row().cell(knob).cell(static_cast<std::int64_t>(value))
-            .cell(mins, 1)
-            .cell(60.0 * batch / mins, 0);
+    struct Point
+    {
+        const char *knob;
+        int value;
+        ManagementServerConfig cfg;
     };
-
+    std::vector<Point> points;
     for (int slots : {1, 2, 4, 8, 16}) {
         ManagementServerConfig cfg;
         cfg.agent.op_slots = slots;
-        add_row("host-agent-slots", slots,
-                batchMakespanMinutes(cfg, batch));
+        points.push_back({"host-agent-slots", slots, cfg});
     }
     for (int slots : {1, 2, 4, 8, 16}) {
         ManagementServerConfig cfg;
         cfg.datastore_slots = slots;
-        add_row("datastore-slots", slots,
-                batchMakespanMinutes(cfg, batch));
+        points.push_back({"datastore-slots", slots, cfg});
     }
     for (int width : {4, 8, 16, 32, 64, 128}) {
         ManagementServerConfig cfg;
         cfg.dispatch_width = width;
-        add_row("dispatch-width", width,
-                batchMakespanMinutes(cfg, batch));
+        points.push_back({"dispatch-width", width, cfg});
     }
     for (int conns : {1, 2, 4, 8, 16}) {
         ManagementServerConfig cfg;
         cfg.db.connections = conns;
-        add_row("db-connections", conns,
-                batchMakespanMinutes(cfg, batch));
+        points.push_back({"db-connections", conns, cfg});
+    }
+
+    std::vector<double> makespan(points.size());
+    makeSweepRunner(opts).run(points.size(), [&](std::size_t i) {
+        makespan[i] = batchMakespanMinutes(
+            points[i].cfg, batch,
+            ParallelSweepRunner::forkSeed(51, i));
+    });
+
+    Table t({"knob", "value", "makespan_min", "throughput/h"});
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        t.row()
+            .cell(points[i].knob)
+            .cell(static_cast<std::int64_t>(points[i].value))
+            .cell(makespan[i], 1)
+            .cell(60.0 * batch / makespan[i], 0);
     }
     printTable("makespan vs admission limits", t);
+    maybeWriteCsv(opts, t);
     std::printf("expected shape: each knob helps until another "
                 "resource binds; with the defaults, the per-"
                 "datastore slots are the first ceiling for linked "

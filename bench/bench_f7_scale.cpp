@@ -84,25 +84,39 @@ opLatency(vcp::DbScaling scaling, int standing_vms,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace vcp;
     setLogQuiet(true);
+    SweepOptions opts = parseSweepOptions(argc, argv);
     banner("F7", "op latency vs inventory size (DB scaling ablation)");
+
+    const std::vector<int> sizes = {1000, 2000, 4000,
+                                    8000, 16000, 32000};
+    const std::vector<DbScaling> laws = {DbScaling::Constant,
+                                         DbScaling::Logarithmic,
+                                         DbScaling::Linear};
+    // Point index = row-major (size, law): stable across thread
+    // counts, so seeds and therefore results are too.
+    std::vector<ScalePoint> results(sizes.size() * laws.size());
+    makeSweepRunner(opts).run(results.size(), [&](std::size_t i) {
+        results[i] = opLatency(laws[i % laws.size()],
+                               sizes[i / laws.size()],
+                               ParallelSweepRunner::forkSeed(71, i));
+    });
 
     Table t({"standing_vms", "const_db_ms", "const_total_s",
              "log_db_ms", "log_total_s", "linear_db_ms",
              "linear_total_s"});
-    for (int n : {1000, 2000, 4000, 8000, 16000, 32000}) {
-        t.row().cell(static_cast<std::int64_t>(n));
-        for (DbScaling s :
-             {DbScaling::Constant, DbScaling::Logarithmic,
-              DbScaling::Linear}) {
-            ScalePoint p = opLatency(s, n, 71);
+    for (std::size_t r = 0; r < sizes.size(); ++r) {
+        t.row().cell(static_cast<std::int64_t>(sizes[r]));
+        for (std::size_t c = 0; c < laws.size(); ++c) {
+            const ScalePoint &p = results[r * laws.size() + c];
             t.cell(p.db_phase_ms, 0).cell(p.total_s, 2);
         }
     }
     printTable("linked-clone DB phase and total latency", t);
+    maybeWriteCsv(opts, t);
     std::printf("expected shape: constant flat; log grows gently "
                 "(per decade); linear makes the DB phase — and "
                 "eventually the whole op — track cloud size.\n");

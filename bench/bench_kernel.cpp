@@ -52,6 +52,79 @@ BM_EventCancelHeavy(benchmark::State &state)
 BENCHMARK(BM_EventCancelHeavy)->Arg(100000);
 
 void
+BM_EventChurnCancelReschedule(benchmark::State &state)
+{
+    // The lease/HA timeout pattern: every completion cancels its
+    // pending timeout and schedules a new one, so the queue sees a
+    // steady stream of cancels that (unlike BM_EventCancelHeavy)
+    // never drain — the standing population stays constant while ids
+    // churn.  This is the worst case for cancel bookkeeping.
+    const int standing = static_cast<int>(state.range(0));
+    const int rounds = 10;
+    for (auto _ : state) {
+        Simulator sim;
+        std::vector<EventId> timeouts;
+        timeouts.reserve(static_cast<std::size_t>(standing));
+        for (int i = 0; i < standing; ++i)
+            timeouts.push_back(
+                sim.schedule(1000000 + i, [] {}));
+        for (int r = 0; r < rounds; ++r) {
+            for (int i = 0; i < standing; ++i) {
+                sim.cancel(timeouts[static_cast<std::size_t>(i)]);
+                timeouts[static_cast<std::size_t>(i)] =
+                    sim.schedule(1000000 + r * standing + i, [] {});
+            }
+        }
+        for (EventId id : timeouts)
+            sim.cancel(id);
+        sim.run();
+        benchmark::DoNotOptimize(sim.now());
+    }
+    state.SetItemsProcessed(state.iterations() * standing * rounds);
+}
+BENCHMARK(BM_EventChurnCancelReschedule)->Arg(1000)->Arg(10000);
+
+/** Payload for the capture-size sweep; Bytes total capture. */
+template <std::size_t Bytes>
+void
+scheduleWithCapture(Simulator &sim, int batch)
+{
+    struct Payload
+    {
+        unsigned char data[Bytes];
+    };
+    Payload p{};
+    p.data[0] = 1;
+    for (int i = 0; i < batch; ++i)
+        sim.schedule(i % 1000, [p] {
+            benchmark::DoNotOptimize(p.data[0]);
+        });
+}
+
+template <std::size_t Bytes>
+void
+BM_InlineActionCapture(benchmark::State &state)
+{
+    // Schedule+run cost as the capture grows: everything up to
+    // InlineAction::kInlineSize stays in the event; one byte past it
+    // pays a heap allocation per event (the std::function world paid
+    // it at ~16 bytes).
+    const int batch = 10000;
+    for (auto _ : state) {
+        Simulator sim;
+        scheduleWithCapture<Bytes>(sim, batch);
+        sim.run();
+        benchmark::DoNotOptimize(sim.eventsProcessed());
+    }
+    state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_InlineActionCapture<8>);
+BENCHMARK(BM_InlineActionCapture<24>);
+BENCHMARK(BM_InlineActionCapture<48>);   // last inline size
+BENCHMARK(BM_InlineActionCapture<56>);   // first heap fallback
+BENCHMARK(BM_InlineActionCapture<128>);
+
+void
 BM_ServiceCenterThroughput(benchmark::State &state)
 {
     const int jobs = 100000;

@@ -8,9 +8,14 @@
 #define VCP_BENCH_BENCH_UTIL_HH
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <string>
+#include <vector>
 
 #include "sim/logging.hh"
+#include "sim/parallel_sweep.hh"
 #include "stats/table.hh"
 #include "workload/profiles.hh"
 
@@ -29,6 +34,73 @@ printTable(const std::string &caption, const Table &t)
 {
     std::printf("-- %s --\n%s\n", caption.c_str(),
                 t.toText().c_str());
+}
+
+/**
+ * Command-line options shared by the sweep benches.
+ *
+ * Every sweep bench runs its points through a ParallelSweepRunner;
+ * results are bit-identical between --serial and parallel runs
+ * because each point's seed is forked from (base seed, point index)
+ * and rows are assembled in index order after the sweep.
+ */
+struct SweepOptions
+{
+    /** Worker threads; 0 = hardware concurrency. */
+    int jobs = 0;
+    /** Force single-threaded execution (same as --jobs 1). */
+    bool serial = false;
+    /** When non-empty, also write the result table as CSV here. */
+    std::string csv;
+    /** Non-flag arguments, in order. */
+    std::vector<std::string> positional;
+};
+
+/**
+ * Parse --serial, --jobs N, and --csv FILE; anything else is kept as
+ * a positional argument for the bench to interpret.
+ */
+inline SweepOptions
+parseSweepOptions(int argc, char **argv)
+{
+    SweepOptions o;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                fatal("missing argument after %s", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--serial")
+            o.serial = true;
+        else if (arg == "--jobs")
+            o.jobs = std::atoi(next());
+        else if (arg == "--csv")
+            o.csv = next();
+        else
+            o.positional.push_back(arg);
+    }
+    return o;
+}
+
+/** Build the runner the options ask for. */
+inline ParallelSweepRunner
+makeSweepRunner(const SweepOptions &o)
+{
+    return ParallelSweepRunner(o.serial ? 1 : o.jobs);
+}
+
+/** Write the table as CSV when --csv was given. */
+inline void
+maybeWriteCsv(const SweepOptions &o, const Table &t)
+{
+    if (o.csv.empty())
+        return;
+    std::ofstream out(o.csv);
+    if (!out)
+        fatal("cannot write %s", o.csv.c_str());
+    out << t.toCsv();
+    std::printf("wrote %s\n", o.csv.c_str());
 }
 
 /**

@@ -19,7 +19,7 @@ InventoryDatabase::inventorySize() const
 }
 
 void
-InventoryDatabase::runTxns(int n, std::function<void()> done)
+InventoryDatabase::runTxns(int n, InlineAction done)
 {
     if (n < 0)
         panic("InventoryDatabase::runTxns: negative count");

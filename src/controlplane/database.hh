@@ -13,7 +13,6 @@
 #ifndef VCP_CONTROLPLANE_DATABASE_HH
 #define VCP_CONTROLPLANE_DATABASE_HH
 
-#include <functional>
 #include <memory>
 
 #include "controlplane/cost_model.hh"
@@ -47,7 +46,7 @@ class InventoryDatabase
      * depend on one another; transactions of *different* operations
      * interleave across the connection pool.
      */
-    void runTxns(int n, std::function<void()> done);
+    void runTxns(int n, InlineAction done);
 
     /** Transactions committed so far. */
     std::uint64_t txnsCommitted() const { return txn_count; }

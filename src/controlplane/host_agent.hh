@@ -13,7 +13,6 @@
 #ifndef VCP_CONTROLPLANE_HOST_AGENT_HH
 #define VCP_CONTROLPLANE_HOST_AGENT_HH
 
-#include <functional>
 #include <string>
 
 #include "infra/ids.hh"
@@ -45,7 +44,7 @@ class HostAgent
      * The caller must call release() when the op's host-side work
      * (execution plus any data copy it drives) is done.
      */
-    void acquireSlot(std::function<void()> granted) {
+    void acquireSlot(InlineAction granted) {
         slots.acquire(std::move(granted));
     }
 
@@ -56,7 +55,7 @@ class HostAgent
      * Convenience: run a host-side op of known duration in one shot
      * (acquire, execute, release, done).
      */
-    void execute(SimDuration service_time, std::function<void()> done) {
+    void execute(SimDuration service_time, InlineAction done) {
         slots.submit(service_time, std::move(done));
     }
 

@@ -83,7 +83,7 @@ SharedBandwidthResource::onCompletion()
     // considered done within half a microsecond of work at current
     // share to absorb tick rounding.
     double epsilon = currentShare() * 1e-6;
-    std::vector<std::pair<TransferId, std::function<void()>>> done;
+    std::vector<std::pair<TransferId, InlineAction>> done;
     for (auto it = jobs.begin(); it != jobs.end();) {
         if (it->second.remaining <= epsilon) {
             bytes_done +=
@@ -106,7 +106,7 @@ SharedBandwidthResource::onCompletion()
 
 TransferId
 SharedBandwidthResource::startTransfer(Bytes bytes,
-                                       std::function<void()> on_done)
+                                       InlineAction on_done)
 {
     if (bytes < 0)
         panic("SharedBandwidthResource %s: negative transfer size",

@@ -14,9 +14,10 @@
 #define VCP_INFRA_BANDWIDTH_HH
 
 #include <cstdint>
-#include <functional>
 #include <map>
 #include <string>
+
+#include "sim/inline_action.hh"
 
 #include "sim/simulator.hh"
 #include "sim/types.hh"
@@ -47,7 +48,7 @@ class SharedBandwidthResource
      * completes.  Zero-byte transfers complete on the next event
      * cycle.  @return handle usable with cancelTransfer().
      */
-    TransferId startTransfer(Bytes bytes, std::function<void()> on_done);
+    TransferId startTransfer(Bytes bytes, InlineAction on_done);
 
     /**
      * Abort an in-flight transfer; its completion callback never
@@ -78,7 +79,7 @@ class SharedBandwidthResource
     {
         double total = 0.0;
         double remaining = 0.0;
-        std::function<void()> on_done;
+        InlineAction on_done;
     };
 
     /** Advance all jobs' remaining work to the current time. */

@@ -16,7 +16,7 @@ Network::Network(Simulator &sim_, const NetworkConfig &cfg_)
 }
 
 void
-Network::sendMessage(std::function<void()> on_delivered)
+Network::sendMessage(InlineAction on_delivered)
 {
     sim.schedule(cfg.message_latency, std::move(on_delivered));
 }

@@ -52,7 +52,7 @@ class Network
      * Deliver a control message after the propagation latency.
      * Convenience over sim.schedule for readability at call sites.
      */
-    void sendMessage(std::function<void()> on_delivered);
+    void sendMessage(InlineAction on_delivered);
 
   private:
     Simulator &sim;

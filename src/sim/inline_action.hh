@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Allocation-free callback type for the event kernel hot path.
+ *
+ * InlineAction is a move-only, type-erased `void()` callable with a
+ * small-buffer optimization: captures up to kInlineSize bytes (and
+ * max_align_t alignment) are stored inline in the event itself, so
+ * scheduling an event performs no heap allocation.  Fat captures fall
+ * back to a single heap allocation, same as std::function.  Unlike
+ * std::function it never copies — model callbacks routinely capture
+ * move-only state, and the kernel only ever invokes an action once.
+ *
+ * Capture-size guidance: `this` plus a handful of ids/integers fits
+ * easily (48 bytes = six 8-byte words); capturing a std::string or
+ * std::vector *by value* typically still fits (32 bytes each on
+ * libstdc++) but two of them will not.  The bench
+ * `BM_InlineActionCapture` measures the inline/heap cliff.
+ */
+
+#ifndef VCP_SIM_INLINE_ACTION_HH
+#define VCP_SIM_INLINE_ACTION_HH
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace vcp {
+
+/** Move-only `void()` callable with small-buffer optimization. */
+class InlineAction
+{
+  public:
+    /** Captures at most this many bytes are stored without allocating. */
+    static constexpr std::size_t kInlineSize = 48;
+
+    InlineAction() noexcept = default;
+    InlineAction(std::nullptr_t) noexcept {}
+
+    /** Wrap any callable invocable as `void()`. */
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InlineAction> &&
+                  std::is_invocable_r_v<void, std::decay_t<F> &>>>
+    InlineAction(F &&fn)
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (fitsInline<Fn>()) {
+            ::new (static_cast<void *>(buf)) Fn(std::forward<F>(fn));
+            vt = &inlineVTable<Fn>;
+        } else {
+            ::new (static_cast<void *>(buf))
+                void *(new Fn(std::forward<F>(fn)));
+            vt = &heapVTable<Fn>;
+        }
+    }
+
+    InlineAction(InlineAction &&other) noexcept { moveFrom(other); }
+
+    InlineAction &
+    operator=(InlineAction &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    InlineAction(const InlineAction &) = delete;
+    InlineAction &operator=(const InlineAction &) = delete;
+
+    ~InlineAction() { reset(); }
+
+    /** Drop the held callable (if any). */
+    void
+    reset() noexcept
+    {
+        if (vt) {
+            vt->destroy(buf);
+            vt = nullptr;
+        }
+    }
+
+    /** Invoke the held callable. @pre non-empty. */
+    void
+    operator()()
+    {
+        vt->invoke(buf);
+    }
+
+    /** @return true when a callable is held. */
+    explicit operator bool() const noexcept { return vt != nullptr; }
+
+    /** @return true when the capture lives on the heap (diagnostics). */
+    bool heapAllocated() const noexcept { return vt && vt->heap; }
+
+    /** Compile-time check: would F be stored inline? */
+    template <typename F>
+    static constexpr bool
+    fitsInline()
+    {
+        using Fn = std::decay_t<F>;
+        return sizeof(Fn) <= kInlineSize &&
+               alignof(Fn) <= alignof(std::max_align_t) &&
+               std::is_nothrow_move_constructible_v<Fn>;
+    }
+
+  private:
+    struct VTable
+    {
+        void (*invoke)(void *);
+        /** Move-construct dst from src, then destroy src. */
+        void (*relocate)(void *dst, void *src);
+        void (*destroy)(void *);
+        bool heap;
+    };
+
+    template <typename Fn>
+    static constexpr VTable inlineVTable = {
+        [](void *p) { (*std::launder(reinterpret_cast<Fn *>(p)))(); },
+        [](void *dst, void *src) {
+            Fn *s = std::launder(reinterpret_cast<Fn *>(src));
+            ::new (dst) Fn(std::move(*s));
+            s->~Fn();
+        },
+        [](void *p) { std::launder(reinterpret_cast<Fn *>(p))->~Fn(); },
+        false,
+    };
+
+    template <typename Fn>
+    static constexpr VTable heapVTable = {
+        [](void *p) {
+            (*static_cast<Fn *>(*static_cast<void **>(p)))();
+        },
+        [](void *dst, void *src) {
+            *static_cast<void **>(dst) = *static_cast<void **>(src);
+        },
+        [](void *p) {
+            delete static_cast<Fn *>(*static_cast<void **>(p));
+        },
+        true,
+    };
+
+    void
+    moveFrom(InlineAction &other) noexcept
+    {
+        vt = other.vt;
+        if (vt)
+            vt->relocate(buf, other.buf);
+        other.vt = nullptr;
+    }
+
+    alignas(std::max_align_t) unsigned char buf[kInlineSize];
+    const VTable *vt = nullptr;
+};
+
+} // namespace vcp
+
+#endif // VCP_SIM_INLINE_ACTION_HH

@@ -68,7 +68,7 @@ ServiceCenter::drain()
 }
 
 void
-ServiceCenter::acquire(std::function<void()> granted)
+ServiceCenter::acquire(InlineAction granted)
 {
     if (busy < num_servers && waiting.empty()) {
         wait_stats.add(0.0);
@@ -89,8 +89,7 @@ ServiceCenter::release()
 }
 
 void
-ServiceCenter::submit(SimDuration service_time,
-                      std::function<void()> done)
+ServiceCenter::submit(SimDuration service_time, InlineAction done)
 {
     if (service_time < 0)
         panic("ServiceCenter %s: negative service time", label.c_str());

@@ -20,8 +20,9 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <string>
+
+#include "sim/inline_action.hh"
 
 #include "sim/simulator.hh"
 #include "sim/types.hh"
@@ -47,14 +48,14 @@ class ServiceCenter
      * Enqueue a job with a known service time; @p done fires when it
      * completes and its server is freed automatically.
      */
-    void submit(SimDuration service_time, std::function<void()> done);
+    void submit(SimDuration service_time, InlineAction done);
 
     /**
      * Request a server token; @p granted fires (possibly immediately)
      * once one is available.  The caller must call release() when the
      * held work is finished.
      */
-    void acquire(std::function<void()> granted);
+    void acquire(InlineAction granted);
 
     /** Return a token obtained through acquire(). */
     void release();
@@ -87,7 +88,7 @@ class ServiceCenter
     struct Pending
     {
         SimTime enqueued = 0;
-        std::function<void()> start;
+        InlineAction start;
     };
 
     /** Grant servers to waiters while any are free. */

@@ -5,7 +5,7 @@
 namespace vcp {
 
 EventId
-Simulator::schedule(SimDuration delay, std::function<void()> action,
+Simulator::schedule(SimDuration delay, InlineAction action,
                     int priority)
 {
     if (delay < 0)
@@ -15,7 +15,7 @@ Simulator::schedule(SimDuration delay, std::function<void()> action,
 }
 
 EventId
-Simulator::scheduleAt(SimTime when, std::function<void()> action,
+Simulator::scheduleAt(SimTime when, InlineAction action,
                       int priority)
 {
     if (when < current)
@@ -30,10 +30,9 @@ Simulator::run()
 {
     stopping = false;
     while (!events.empty() && !stopping) {
-        Event ev = events.pop();
-        current = ev.when;
+        InlineAction action = events.popAction(current);
         ++processed;
-        ev.action();
+        action();
     }
 }
 
@@ -46,10 +45,9 @@ Simulator::runUntil(SimTime until)
               static_cast<long long>(current));
     stopping = false;
     while (!events.empty() && !stopping && events.nextTime() <= until) {
-        Event ev = events.pop();
-        current = ev.when;
+        InlineAction action = events.popAction(current);
         ++processed;
-        ev.action();
+        action();
     }
     if (!stopping)
         current = until;

@@ -13,9 +13,9 @@
 #define VCP_SIM_SIMULATOR_HH
 
 #include <cstdint>
-#include <functional>
 
 #include "sim/event_queue.hh"
+#include "sim/inline_action.hh"
 #include "sim/random.hh"
 #include "sim/types.hh"
 
@@ -40,14 +40,15 @@ class Simulator
      * Schedule a callback @p delay ticks from now.
      * @param delay non-negative delay; 0 runs after currently queued
      *        same-time events.
-     * @param action the callback.
+     * @param action the callback; captures up to
+     *        InlineAction::kInlineSize bytes schedule allocation-free.
      * @param priority tie-break at equal time; lower fires first.
      */
-    EventId schedule(SimDuration delay, std::function<void()> action,
+    EventId schedule(SimDuration delay, InlineAction action,
                      int priority = 0);
 
     /** Schedule a callback at an absolute time >= now(). */
-    EventId scheduleAt(SimTime when, std::function<void()> action,
+    EventId scheduleAt(SimTime when, InlineAction action,
                        int priority = 0);
 
     /** Cancel a pending event. @return true if it was still pending. */

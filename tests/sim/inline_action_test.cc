@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Unit tests for InlineAction: inline vs heap storage selection,
+ * move semantics, lifetime management, and invocation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <utility>
+
+#include "sim/inline_action.hh"
+
+namespace vcp {
+namespace {
+
+TEST(InlineActionTest, DefaultIsEmpty)
+{
+    InlineAction a;
+    EXPECT_FALSE(a);
+    EXPECT_FALSE(a.heapAllocated());
+}
+
+TEST(InlineActionTest, SmallCaptureStaysInline)
+{
+    int hits = 0;
+    InlineAction a([&hits] { ++hits; });
+    EXPECT_TRUE(a);
+    EXPECT_FALSE(a.heapAllocated());
+    a();
+    a();
+    EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineActionTest, CaptureAtTheSizeLimitStaysInline)
+{
+    // A lambda capturing exactly kInlineSize bytes must not spill...
+    std::array<char, InlineAction::kInlineSize> payload{};
+    payload[0] = 42;
+    static char sink = 0;
+    InlineAction at_limit([payload] { sink = payload[0]; });
+    EXPECT_FALSE(at_limit.heapAllocated());
+    at_limit();
+    EXPECT_EQ(sink, 42);
+
+    // ...and one byte more must.
+    std::array<char, InlineAction::kInlineSize + 1> over{};
+    InlineAction past_limit([over] { sink = over[0]; });
+    EXPECT_TRUE(past_limit.heapAllocated());
+}
+
+TEST(InlineActionTest, LargeCaptureFallsBackToHeap)
+{
+    std::array<char, 128> big{};
+    big[5] = 9;
+    char seen = 0;
+    InlineAction a([big, &seen] { seen = big[5]; });
+    EXPECT_TRUE(a);
+    EXPECT_TRUE(a.heapAllocated());
+    a();
+    EXPECT_EQ(seen, 9);
+}
+
+TEST(InlineActionTest, MoveTransfersInlineCallable)
+{
+    int hits = 0;
+    InlineAction a([&hits] { ++hits; });
+    InlineAction b(std::move(a));
+    EXPECT_FALSE(a); // NOLINT(bugprone-use-after-move): tested state
+    EXPECT_TRUE(b);
+    b();
+    EXPECT_EQ(hits, 1);
+}
+
+TEST(InlineActionTest, MoveTransfersHeapCallable)
+{
+    std::array<char, 128> big{};
+    big[0] = 3;
+    char seen = 0;
+    InlineAction a([big, &seen] { seen = big[0]; });
+    InlineAction b(std::move(a));
+    EXPECT_FALSE(a); // NOLINT(bugprone-use-after-move): tested state
+    EXPECT_TRUE(b);
+    EXPECT_TRUE(b.heapAllocated());
+    b();
+    EXPECT_EQ(seen, 3);
+}
+
+TEST(InlineActionTest, MoveAssignDestroysPreviousCallable)
+{
+    auto token = std::make_shared<int>(1);
+    std::weak_ptr<int> alive = token;
+    InlineAction a([token] { (void)*token; });
+    token.reset();
+    EXPECT_FALSE(alive.expired());
+    a = InlineAction([] {});
+    EXPECT_TRUE(alive.expired());
+}
+
+TEST(InlineActionTest, ResetDestroysCallable)
+{
+    auto token = std::make_shared<int>(1);
+    std::weak_ptr<int> alive = token;
+    InlineAction a([token] { (void)*token; });
+    token.reset();
+    EXPECT_FALSE(alive.expired());
+    a.reset();
+    EXPECT_FALSE(a);
+    EXPECT_TRUE(alive.expired());
+}
+
+TEST(InlineActionTest, DestructorReleasesHeapCallable)
+{
+    auto token = std::make_shared<int>(1);
+    std::weak_ptr<int> alive = token;
+    {
+        std::array<char, 128> big{};
+        InlineAction a([token, big] { (void)*token; (void)big; });
+        token.reset();
+        EXPECT_TRUE(a.heapAllocated());
+        EXPECT_FALSE(alive.expired());
+    }
+    EXPECT_TRUE(alive.expired());
+}
+
+TEST(InlineActionTest, MovedFromIsReusable)
+{
+    int hits = 0;
+    InlineAction a([&hits] { ++hits; });
+    InlineAction b(std::move(a));
+    a = InlineAction([&hits] { hits += 10; });
+    a();
+    b();
+    EXPECT_EQ(hits, 11);
+}
+
+TEST(InlineActionTest, MutableLambdaKeepsStateAcrossCalls)
+{
+    int seen = 0;
+    InlineAction a([n = 0, &seen]() mutable { seen = ++n; });
+    a();
+    a();
+    a();
+    EXPECT_EQ(seen, 3);
+}
+
+} // namespace
+} // namespace vcp

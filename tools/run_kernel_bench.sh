@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Run the kernel microbenchmarks and record the results as
+# google-benchmark JSON (default: BENCH_kernel.json in the repo
+# root), for before/after comparison when touching the kernel.
+#
+# usage: tools/run_kernel_bench.sh [output.json] [extra bench args...]
+#
+#   BUILD_DIR=build       build tree containing bench/bench_kernel
+#   REPETITIONS=3         google-benchmark repetitions per benchmark
+#   FILTER=.              benchmark name filter regex
+#
+# Extra arguments are passed through to bench_kernel, e.g.:
+#   tools/run_kernel_bench.sh out.json --benchmark_min_time=2
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${BUILD_DIR:-$repo_root/build}"
+out="${1:-$repo_root/BENCH_kernel.json}"
+shift || true
+repetitions="${REPETITIONS:-3}"
+filter="${FILTER:-.}"
+
+bench="$build_dir/bench/bench_kernel"
+if [ ! -x "$bench" ]; then
+    echo "error: $bench not found; build first:" >&2
+    echo "  cmake -B $build_dir -S $repo_root && cmake --build $build_dir -j" >&2
+    exit 1
+fi
+
+"$bench" \
+    --benchmark_filter="$filter" \
+    --benchmark_repetitions="$repetitions" \
+    --benchmark_report_aggregates_only=true \
+    --benchmark_out="$out" \
+    --benchmark_out_format=json \
+    "$@"
+
+echo "wrote $out"

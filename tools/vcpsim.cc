@@ -9,6 +9,13 @@
  *
  *   vcpsim cloud-a --hours 24 --seed 7 --dump-ops ops.csv
  *   vcpsim cloud-b --rate 80 --full-clones --stats stats.csv
+ *
+ * The sweep mode runs one profile at several arrival rates, each
+ * rate as an independent simulation distributed across worker
+ * threads.  Per-point seeds are forked from (--seed, point index),
+ * so --serial and parallel runs emit identical tables:
+ *
+ *   vcpsim sweep cloud-a --rates 30,60,120,240 --hours 4 --jobs 4
  */
 
 #include <cstdio>
@@ -16,11 +23,14 @@
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "analysis/bottleneck.hh"
 #include "analysis/report.hh"
 #include "cloud/ha_manager.hh"
 #include "sim/logging.hh"
+#include "sim/parallel_sweep.hh"
+#include "stats/table.hh"
 #include "workload/failures.hh"
 #include "workload/profiles.hh"
 
@@ -45,7 +55,20 @@ usage()
         "CSV\n"
         "  --dump-actions F   write the generator action trace CSV\n"
         "  --stats FILE       write the statistics registry CSV\n"
-        "  --quiet            suppress warnings/info\n");
+        "  --quiet            suppress warnings/info\n"
+        "\n"
+        "usage: vcpsim sweep <cloud-a|cloud-b> [options]\n"
+        "  --rates R1,R2,...  arrival rates to sweep "
+        "(default 30,60,120,240,480)\n"
+        "  --hours N          workload hours per point (default 4)\n"
+        "  --seed N           base seed; per-point seeds are forked "
+        "from it (default 1)\n"
+        "  --full-clones      disable linked clones\n"
+        "  --jobs N           worker threads (default: hardware "
+        "concurrency)\n"
+        "  --serial           run points one at a time (same "
+        "results)\n"
+        "  --csv FILE         also write the sweep table as CSV\n");
 }
 
 bool
@@ -58,6 +81,136 @@ writeFile(const std::string &path, const std::string &content)
     }
     out << content;
     return true;
+}
+
+/** Per-point outcome of a sweep run. */
+struct SweepRow
+{
+    std::uint64_t deploys_ok = 0;
+    std::uint64_t deploys_failed = 0;
+    std::uint64_t vms_provisioned = 0;
+    std::uint64_t ops_failed = 0;
+    std::string bottleneck;
+    double bneck_util = 0.0;
+};
+
+int
+sweepMain(int argc, char **argv)
+{
+    using namespace vcp;
+    if (argc < 3) {
+        usage();
+        return 2;
+    }
+
+    CloudSetupSpec spec;
+    std::string profile = argv[2];
+    if (profile == "cloud-a") {
+        spec = cloudASpec();
+    } else if (profile == "cloud-b") {
+        spec = cloudBSpec();
+    } else {
+        usage();
+        return 2;
+    }
+
+    std::vector<double> rates = {30, 60, 120, 240, 480};
+    double hours_per_point = 4.0;
+    std::uint64_t seed = 1;
+    int jobs = 0;
+    std::string csv_path;
+
+    for (int i = 3; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                usage();
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--rates") {
+            rates.clear();
+            std::string list = next();
+            std::size_t pos = 0;
+            while (pos < list.size()) {
+                std::size_t comma = list.find(',', pos);
+                if (comma == std::string::npos)
+                    comma = list.size();
+                rates.push_back(
+                    std::atof(list.substr(pos, comma - pos).c_str()));
+                pos = comma + 1;
+            }
+            if (rates.empty()) {
+                usage();
+                return 2;
+            }
+        } else if (arg == "--hours") {
+            hours_per_point = std::atof(next());
+        } else if (arg == "--seed") {
+            seed = static_cast<std::uint64_t>(std::atoll(next()));
+        } else if (arg == "--full-clones") {
+            spec.director.use_linked_clones = false;
+        } else if (arg == "--jobs") {
+            jobs = std::atoi(next());
+        } else if (arg == "--serial") {
+            jobs = 1;
+        } else if (arg == "--csv") {
+            csv_path = next();
+        } else {
+            usage();
+            return 2;
+        }
+    }
+
+    setLogQuiet(true);
+    spec.workload.duration = hours(hours_per_point);
+
+    ParallelSweepRunner runner(jobs);
+    std::printf("vcpsim sweep: profile=%s points=%zu hours=%.1f "
+                "seed=%llu threads=%d\n",
+                spec.name.c_str(), rates.size(), hours_per_point,
+                (unsigned long long)seed, runner.threads());
+
+    std::vector<SweepRow> rows(rates.size());
+    runner.run(rates.size(), [&](std::size_t i) {
+        CloudSetupSpec s = spec;
+        s.workload.arrival.rate_per_hour = rates[i];
+        CloudSimulation cs(
+            s, ParallelSweepRunner::forkSeed(seed, i));
+        cs.run();
+        auto utils = collectUtilizations(cs.server());
+        const ResourceUtilization *top = nullptr;
+        for (const auto &u : utils) {
+            if (!top || u.utilization > top->utilization)
+                top = &u;
+        }
+        SweepRow &r = rows[i];
+        r.deploys_ok = cs.cloud().deploysSucceeded();
+        r.deploys_failed = cs.cloud().deploysFailed();
+        r.vms_provisioned = cs.cloud().vmsProvisioned();
+        r.ops_failed = cs.server().opsFailed();
+        r.bottleneck = top ? top->name : "none";
+        r.bneck_util = top ? top->utilization : 0.0;
+    });
+
+    Table t({"rate/h", "deploys_ok", "deploys_failed",
+             "vms_provisioned", "ops_failed", "bottleneck",
+             "bneck_util"});
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+        t.row()
+            .cell(rates[i], 0)
+            .cell(rows[i].deploys_ok)
+            .cell(rows[i].deploys_failed)
+            .cell(rows[i].vms_provisioned)
+            .cell(rows[i].ops_failed)
+            .cell(rows[i].bottleneck)
+            .cell(rows[i].bneck_util, 2);
+    }
+    std::printf("%s", t.toText().c_str());
+    if (!csv_path.empty() && !writeFile(csv_path, t.toCsv()))
+        return 1;
+    return 0;
 }
 
 } // namespace
@@ -73,7 +226,9 @@ main(int argc, char **argv)
 
     CloudSetupSpec spec;
     std::string profile = argv[1];
-    if (profile == "cloud-a") {
+    if (profile == "sweep") {
+        return sweepMain(argc, argv);
+    } else if (profile == "cloud-a") {
         spec = cloudASpec();
     } else if (profile == "cloud-b") {
         spec = cloudBSpec();
