@@ -1,0 +1,57 @@
+/**
+ * @file
+ * End-to-end model benchmark (google-benchmark): events/sec of a
+ * fixed Cloud-A-style F3 slice — the linked-clone saturation point
+ * that stresses the *model* layer (inventory lookups, task records,
+ * lock manager, stat recording) rather than the kernel.
+ *
+ * The simulated workload is pinned (spec, seed, window), so the
+ * wall-clock events/sec rate isolates model-layer cost; compare
+ * before/after with tools/run_e2e_bench.sh (interleaved best-of-N),
+ * recorded in BENCH_e2e.json.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hh"
+
+namespace vcp {
+namespace {
+
+/**
+ * One fixed F3 slice: the linked-clone sweep cloud at a saturating
+ * offered rate.  @p minutes scales the offered window so the smoke
+ * run stays fast while the measurement run amortizes setup.
+ */
+std::uint64_t
+runSlice(int minutes_)
+{
+    CloudSetupSpec spec = sweepCloud(/*linked=*/true);
+    spec.workload.duration = minutes(minutes_);
+    spec.workload.arrival.rate_per_hour = 7680.0;
+    spec.server.dispatch_width = 16;
+    CloudSimulation cs(spec, /*seed=*/31);
+    cs.start();
+    cs.runFor(minutes(minutes_));
+    cs.runFor(minutes(30)); // drain in-flight operations
+    return cs.sim().eventsProcessed();
+}
+
+void
+BM_E2eModelF3Slice(benchmark::State &state)
+{
+    const int window_min = static_cast<int>(state.range(0));
+    std::uint64_t events = 0;
+    for (auto _ : state)
+        events += runSlice(window_min);
+    state.counters["events_per_sec"] = benchmark::Counter(
+        static_cast<double>(events), benchmark::Counter::kIsRate);
+    state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_E2eModelF3Slice)->Arg(1)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+} // namespace vcp
+
+BENCHMARK_MAIN();

@@ -127,12 +127,12 @@ VAppId
 CloudDirector::deployVApp(const DeployRequest &req, DeployCallback cb)
 {
     ++deploys_req;
-    stats.counter("cloud.deploys.requested").inc();
+    stats.counter(deploys_req_stat, "cloud.deploys.requested").inc();
 
     auto tit = tenants.find(req.tenant);
     if (tit == tenants.end() || !catalog_.has(req.tmpl)) {
         ++deploys_fail;
-        stats.counter("cloud.deploys.rejected").inc();
+        stats.counter(deploys_rejected_stat, "cloud.deploys.rejected").inc();
         return VAppId();
     }
     Tenant &ten = *tit->second;
@@ -142,7 +142,8 @@ CloudDirector::deployVApp(const DeployRequest &req, DeployCallback cb)
     if (!ten.withinQuota(tmpl.vm_count)) {
         ten.noteDeployFailed();
         ++deploys_fail;
-        stats.counter("cloud.deploys.quota_rejected").inc();
+        stats.counter(quota_rejected_stat,
+                      "cloud.deploys.quota_rejected").inc();
         return VAppId();
     }
     ten.chargeVms(tmpl.vm_count);
@@ -198,7 +199,7 @@ CloudDirector::provisionOne(const DeployCtxPtr &ctx, int vm_index,
 
     Placement p = placer.place(q);
     if (!p.ok) {
-        stats.counter("cloud.placement_failures").inc();
+        stats.counter(placement_fail_stat, "cloud.placement_failures").inc();
         vmDone(ctx, false);
         return;
     }
@@ -208,13 +209,14 @@ CloudDirector::provisionOne(const DeployCtxPtr &ctx, int vm_index,
     if (ctx->linked && !p.base_found) {
         // Lazy reconfiguration: the deploy stalls while the pool
         // replicates a base disk within reach of the chosen host.
-        stats.counter("cloud.deploy_pool_stalls").inc();
+        stats.counter(pool_stall_stat, "cloud.deploy_pool_stalls").inc();
         pool_mgr.ensureReplica(
             ctx->tmpl, p.host, disk_need,
             [this, ctx, vm_index, attempt, p, fp_vcpus,
              fp_memory](std::optional<BaseReplica> r) {
                 if (!r) {
-                    stats.counter("cloud.base_disk_unavailable").inc();
+                    stats.counter(base_unavail_stat,
+                                  "cloud.base_disk_unavailable").inc();
                     placer.resolve(p.host, fp_vcpus, fp_memory);
                     vmDone(ctx, false);
                     return;
@@ -254,10 +256,10 @@ CloudDirector::issueClone(const DeployCtxPtr &ctx, int vm_index,
         if (!t.succeeded()) {
             placer.resolve(host, vcpus, memory);
             if (attempt < cfg.clone_retries) {
-                stats.counter("cloud.clone_retries").inc();
+                stats.counter(clone_retry_stat, "cloud.clone_retries").inc();
                 provisionOne(ctx, vm_index, attempt + 1);
             } else {
-                stats.counter("cloud.clone_failures").inc();
+                stats.counter(clone_fail_stat, "cloud.clone_failures").inc();
                 vmDone(ctx, false);
             }
             return;
@@ -268,7 +270,7 @@ CloudDirector::issueClone(const DeployCtxPtr &ctx, int vm_index,
             vit->second.vms.push_back(new_vm);
         inv.vm(new_vm).vapp = ctx->vapp;
         ++vms_provisioned;
-        stats.counter("cloud.vms.provisioned").inc();
+        stats.counter(vms_provisioned_stat, "cloud.vms.provisioned").inc();
         if (provision_series)
             provision_series->add(sim.now());
 
@@ -283,7 +285,8 @@ CloudDirector::issueClone(const DeployCtxPtr &ctx, int vm_index,
             // became a real commitment (power-on) or is moot.
             placer.resolve(host, vcpus, memory);
             if (!pt.succeeded())
-                stats.counter("cloud.poweron_failures").inc();
+                stats.counter(poweron_fail_stat,
+                              "cloud.poweron_failures").inc();
             vmDone(ctx, pt.succeeded());
         });
     });
@@ -315,14 +318,15 @@ CloudDirector::finishDeploy(const DeployCtxPtr &ctx)
         }
         ++deploys_ok;
         tenant(ctx->tenant).noteDeploySucceeded();
-        stats.counter("cloud.deploys.succeeded").inc();
-        stats.histogram("cloud.deploy_latency_us", 1000.0, 1.2)
+        stats.counter(deploys_ok_stat, "cloud.deploys.succeeded").inc();
+        stats.histogram(deploy_latency_stat, "cloud.deploy_latency_us",
+                        1000.0, 1.2)
             .add(static_cast<double>(sim.now() - va.requested_at));
     } else {
         va.state = VAppState::DeployFailed;
         ++deploys_fail;
         tenant(ctx->tenant).noteDeployFailed();
-        stats.counter("cloud.deploys.failed").inc();
+        stats.counter(deploys_fail_stat, "cloud.deploys.failed").inc();
     }
 
     auto cbit = deploy_cbs.find(va.id);
@@ -392,8 +396,9 @@ CloudDirector::finishUndeploy(const UndeployCtxPtr &uctx)
     v.destroyed_at = sim.now();
     tenant(uctx->tenant).refundVms(uctx->vm_quota_charged);
     ++undeploys;
-    stats.counter("cloud.undeploys").inc();
-    stats.histogram("cloud.undeploy_latency_us", 1000.0, 1.2)
+    stats.counter(undeploys_stat, "cloud.undeploys").inc();
+    stats.histogram(undeploy_latency_stat,
+                    "cloud.undeploy_latency_us", 1000.0, 1.2)
         .add(static_cast<double>(sim.now() - uctx->started));
     if (uctx->cb)
         uctx->cb(v);
@@ -405,7 +410,7 @@ CloudDirector::undeployVmDone(const UndeployCtxPtr &uctx,
 {
     if (destroyed) {
         ++vms_destroyed;
-        stats.counter("cloud.vms.destroyed").inc();
+        stats.counter(vms_destroyed_stat, "cloud.vms.destroyed").inc();
         if (destroy_series)
             destroy_series->add(sim.now());
     }
@@ -439,7 +444,8 @@ CloudDirector::undeployOneVm(const UndeployCtxPtr &uctx, VmId vm_id,
             } else if (attempt < 4) {
                 undeployOneVm(uctx, vm_id, attempt + 1);
             } else {
-                stats.counter("cloud.undeploy_leaks").inc();
+                stats.counter(undeploy_leak_stat,
+                              "cloud.undeploy_leaks").inc();
                 undeployVmDone(uctx, false);
             }
         });
@@ -463,7 +469,7 @@ CloudDirector::undeployOneVm(const UndeployCtxPtr &uctx, VmId vm_id,
 void
 CloudDirector::onLeaseExpired(VAppId id)
 {
-    stats.counter("cloud.lease_expirations").inc();
+    stats.counter(lease_exp_stat, "cloud.lease_expirations").inc();
     undeployVApp(id);
 }
 

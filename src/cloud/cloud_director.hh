@@ -221,6 +221,29 @@ class CloudDirector
 
     TimeSeries *provision_series = nullptr;
     TimeSeries *destroy_series = nullptr;
+
+    /** @{ Resolve-once stat handles (filled via StatRegistry's
+     *  slot-taking overloads; lazy so the dumped name set matches
+     *  per-event lookups). */
+    Counter *deploys_req_stat = nullptr;
+    Counter *deploys_rejected_stat = nullptr;
+    Counter *quota_rejected_stat = nullptr;
+    Counter *placement_fail_stat = nullptr;
+    Counter *pool_stall_stat = nullptr;
+    Counter *base_unavail_stat = nullptr;
+    Counter *clone_retry_stat = nullptr;
+    Counter *clone_fail_stat = nullptr;
+    Counter *vms_provisioned_stat = nullptr;
+    Counter *poweron_fail_stat = nullptr;
+    Counter *deploys_ok_stat = nullptr;
+    Counter *deploys_fail_stat = nullptr;
+    Counter *undeploys_stat = nullptr;
+    Counter *vms_destroyed_stat = nullptr;
+    Counter *undeploy_leak_stat = nullptr;
+    Counter *lease_exp_stat = nullptr;
+    Histogram *deploy_latency_stat = nullptr;
+    Histogram *undeploy_latency_stat = nullptr;
+    /** @} */
 };
 
 } // namespace vcp

@@ -141,7 +141,7 @@ CloudFederation::deploy(std::size_t tenant_index,
         return -1;
     }
     ++routed;
-    stats.counter("federation.deploys_routed").inc();
+    stats.counter(routed_stat, "federation.deploys_routed").inc();
     return static_cast<int>(s);
 }
 

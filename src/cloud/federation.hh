@@ -121,6 +121,7 @@ class CloudFederation
     std::vector<std::unique_ptr<Shard>> shards;
     std::size_t rr_cursor = 0;
     std::uint64_t routed = 0;
+    Counter *routed_stat = nullptr; ///< resolve-once stat handle
     std::size_t tenant_count = 0;
     std::size_t template_count = 0;
 };

@@ -45,8 +45,8 @@ HaManager::crashHost(HostId host)
 
     ++crash_count;
     vms_crashed += victims.size();
-    stats.counter("ha.crashes").inc();
-    stats.counter("ha.vms_crashed")
+    stats.counter(crashes_stat, "ha.crashes").inc();
+    stats.counter(vms_crashed_stat, "ha.vms_crashed")
         .inc(static_cast<std::uint64_t>(victims.size()));
     std::size_t n = victims.size();
     crashed.emplace(host, std::move(victims));
@@ -103,10 +103,12 @@ HaManager::recoverHost(HostId host, std::function<void(bool)> done)
                             finish](const Task &pt) {
                 if (pt.succeeded()) {
                     ++vms_restarted;
-                    stats.counter("ha.vms_restarted").inc();
+                    stats.counter(vms_restarted_stat,
+                                  "ha.vms_restarted").inc();
                 } else {
                     ++restart_failures;
-                    stats.counter("ha.restart_failures").inc();
+                    stats.counter(restart_fail_stat,
+                                  "ha.restart_failures").inc();
                 }
                 if (--*pending == 0 && *finish)
                     (*finish)(true);

@@ -78,6 +78,13 @@ class HaManager
     std::uint64_t vms_crashed = 0;
     std::uint64_t vms_restarted = 0;
     std::uint64_t restart_failures = 0;
+
+    /** @{ Resolve-once stat handles. */
+    Counter *crashes_stat = nullptr;
+    Counter *vms_crashed_stat = nullptr;
+    Counter *vms_restarted_stat = nullptr;
+    Counter *restart_fail_stat = nullptr;
+    /** @} */
 };
 
 } // namespace vcp

@@ -55,7 +55,7 @@ void
 StorageRebalancer::runOnce(std::function<void(int)> done)
 {
     ++scan_count;
-    stats.counter("rebalance.scans").inc();
+    stats.counter(scans_stat, "rebalance.scans").inc();
 
     if (inv.numDatastores() < 2 ||
         utilizationSpread() < cfg.imbalance_threshold) {
@@ -127,7 +127,7 @@ StorageRebalancer::runOnce(std::function<void(int)> done)
         req.datastore = coldest;
         ++issued;
         ++moves_issued;
-        stats.counter("rebalance.moves_issued").inc();
+        stats.counter(moves_issued_stat, "rebalance.moves_issued").inc();
         *pending += 1;
         Bytes size = c.size;
         srv.submit(req, [this, pending, finished, size,
@@ -135,7 +135,8 @@ StorageRebalancer::runOnce(std::function<void(int)> done)
             if (t.succeeded()) {
                 ++moves_ok;
                 bytes_moved += size;
-                stats.counter("rebalance.moves_ok").inc();
+                stats.counter(moves_ok_stat,
+                              "rebalance.moves_ok").inc();
             }
             if (--*pending == 0 && *finished)
                 (*finished)(issued);

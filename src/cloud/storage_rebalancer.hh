@@ -91,6 +91,12 @@ class StorageRebalancer
     std::uint64_t moves_issued = 0;
     std::uint64_t moves_ok = 0;
     Bytes bytes_moved = 0;
+
+    /** @{ Resolve-once stat handles. */
+    Counter *scans_stat = nullptr;
+    Counter *moves_issued_stat = nullptr;
+    Counter *moves_ok_stat = nullptr;
+    /** @} */
 };
 
 } // namespace vcp

@@ -27,10 +27,36 @@ InventoryDatabase::runTxns(int n, InlineAction done)
         done();
         return;
     }
+    // Park the completion in a pooled chain record so each hop's
+    // submit captures only {this, index} — re-wrapping the caller's
+    // action every hop would spill past the inline buffer and
+    // allocate per transaction.
+    std::uint32_t idx;
+    if (!free_chains.empty()) {
+        idx = free_chains.back();
+        free_chains.pop_back();
+    } else {
+        idx = static_cast<std::uint32_t>(chains.size());
+        chains.emplace_back();
+    }
+    chains[idx].remaining = n;
+    chains[idx].done = std::move(done);
+    step(idx);
+}
+
+void
+InventoryDatabase::step(std::uint32_t idx)
+{
     SimDuration service = costs.sampleDbTxn(inventorySize());
-    pool.submit(service, [this, n, done = std::move(done)]() mutable {
+    pool.submit(service, [this, idx] {
         ++txn_count;
-        runTxns(n - 1, std::move(done));
+        if (--chains[idx].remaining > 0) {
+            step(idx);
+            return;
+        }
+        InlineAction done = std::move(chains[idx].done);
+        free_chains.push_back(idx);
+        done();
     });
 }
 

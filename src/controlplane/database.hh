@@ -13,7 +13,9 @@
 #ifndef VCP_CONTROLPLANE_DATABASE_HH
 #define VCP_CONTROLPLANE_DATABASE_HH
 
+#include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "controlplane/cost_model.hh"
 #include "infra/inventory.hh"
@@ -59,11 +61,25 @@ class InventoryDatabase
     std::size_t inventorySize() const;
 
   private:
+    /** One operation's serialized transaction sequence in flight. */
+    struct TxnChain
+    {
+        int remaining = 0;
+        InlineAction done;
+    };
+
+    /** Submit the next transaction of chain @p idx to the pool. */
+    void step(std::uint32_t idx);
+
     Simulator &sim;
     Inventory &inventory;
     OpCostModel &costs;
     ServiceCenter pool;
     std::uint64_t txn_count = 0;
+
+    /** In-flight chains, recycled by index (no per-txn allocation). */
+    std::vector<TxnChain> chains;
+    std::vector<std::uint32_t> free_chains;
 };
 
 } // namespace vcp

@@ -23,7 +23,7 @@ LockManager::compatible(const Entry &e, LockMode mode)
 
 void
 LockManager::acquireOne(const LockKey &key, LockMode mode,
-                        std::function<void()> granted)
+                        InlineAction granted)
 {
     Entry &e = table[key];
     // FIFO fairness: even a compatible request waits behind queued
@@ -63,7 +63,7 @@ LockManager::releaseOne(const LockKey &key, LockMode mode)
     // waiter may synchronously release locks (a fast-failing task),
     // and re-entering this function mid-iteration would invalidate
     // the entry we are walking.
-    std::vector<std::function<void()>> to_fire;
+    std::vector<InlineAction> to_fire;
     while (!e.queue.empty() && compatible(e, e.queue.front().mode)) {
         Waiter w = std::move(e.queue.front());
         e.queue.pop_front();
@@ -87,7 +87,7 @@ struct LockManager::AcquireCtx
     std::vector<LockRequest> reqs;
     std::size_t next = 0;
     SimTime started = 0;
-    std::function<void()> granted;
+    InlineAction granted;
 };
 
 void
@@ -96,7 +96,7 @@ LockManager::acquireStep(const std::shared_ptr<AcquireCtx> &ctx)
     if (ctx->next >= ctx->reqs.size()) {
         wait_stats.add(static_cast<double>(sim.now() - ctx->started));
         ++grant_count;
-        auto done = std::move(ctx->granted);
+        InlineAction done = std::move(ctx->granted);
         done();
         return;
     }
@@ -108,7 +108,7 @@ LockManager::acquireStep(const std::shared_ptr<AcquireCtx> &ctx)
 
 void
 LockManager::acquireAll(std::vector<LockRequest> requests,
-                        std::function<void()> granted)
+                        InlineAction granted)
 {
     // Canonical order prevents deadlock between concurrent
     // multi-lock acquisitions.

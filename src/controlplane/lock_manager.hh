@@ -18,13 +18,13 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "infra/ids.hh"
+#include "sim/inline_action.hh"
 #include "sim/simulator.hh"
 #include "sim/summary.hh"
 
@@ -105,7 +105,7 @@ class LockManager
      * concurrent multi-lock acquisitions cannot deadlock.
      */
     void acquireAll(std::vector<LockRequest> requests,
-                    std::function<void()> granted);
+                    InlineAction granted);
 
     /** Release locks previously granted through acquireAll. */
     void releaseAll(const std::vector<LockRequest> &requests);
@@ -126,7 +126,7 @@ class LockManager
     struct Waiter
     {
         LockMode mode;
-        std::function<void()> granted;
+        InlineAction granted;
     };
 
     struct Entry
@@ -141,7 +141,7 @@ class LockManager
 
     /** Acquire one key (FIFO fairness), then continue. */
     void acquireOne(const LockKey &key, LockMode mode,
-                    std::function<void()> granted);
+                    InlineAction granted);
 
     struct AcquireCtx;
 

@@ -21,10 +21,14 @@ namespace vcp {
  * never references; entities are re-fetched (and re-checked) after
  * every asynchronous boundary, because the inventory may have changed
  * while the task waited.
+ *
+ * Contexts are pooled (allocCtx()/releaseCtx()) and carry scratch
+ * space for the pipeline helpers, so each asynchronous hop captures
+ * only {this, ctx} and stays inside InlineAction's inline buffer.
  */
 struct ManagementServer::OpCtx
 {
-    std::shared_ptr<Task> task;
+    Task *task = nullptr;
     TaskCallback cb;
 
     /** Locks currently held (empty if none). */
@@ -47,7 +51,68 @@ struct ManagementServer::OpCtx
     /** Raw datastore reservation to undo if the task fails. */
     DatastoreId reserved_ds;
     Bytes reserved_bytes = 0;
+
+    /** @{ Pipeline-helper scratch.  The continuation chain of one
+     *  operation is strictly linear, so a single parked continuation
+     *  and one phase timestamp suffice. */
+    InlineAction next;
+    SimTime phase_start = 0;
+    TaskPhase db_phase = TaskPhase::Db;
+    std::vector<LockRequest> pending_locks;
+    HostId data_host;
+    DatastoreId data_slot_ds;
+    DatastoreId data_src_ds;
+    DatastoreId data_dst_ds;
+    Bytes data_bytes = 0;
+    /** @} */
+
+    /** Return to pool-fresh state (vectors keep their capacity). */
+    void
+    reset()
+    {
+        task = nullptr;
+        cb = nullptr;
+        held_locks.clear();
+        held_agent = nullptr;
+        held_ds_slot = nullptr;
+        committed_host = HostId();
+        committed_vcpus = 0;
+        committed_memory = 0;
+        created_vms.clear();
+        reserved_ds = DatastoreId();
+        reserved_bytes = 0;
+        next.reset();
+        phase_start = 0;
+        db_phase = TaskPhase::Db;
+        pending_locks.clear();
+        data_host = HostId();
+        data_slot_ds = DatastoreId();
+        data_src_ds = DatastoreId();
+        data_dst_ds = DatastoreId();
+        data_bytes = 0;
+    }
 };
+
+ManagementServer::~ManagementServer() = default;
+
+ManagementServer::OpCtx *
+ManagementServer::allocCtx()
+{
+    if (!ctx_free.empty()) {
+        OpCtx *ctx = ctx_free.back();
+        ctx_free.pop_back();
+        return ctx;
+    }
+    ctx_pool.push_back(std::make_unique<OpCtx>());
+    return ctx_pool.back().get();
+}
+
+void
+ManagementServer::releaseCtx(OpCtx *ctx)
+{
+    ctx->reset();
+    ctx_free.push_back(ctx);
+}
 
 ManagementServer::ManagementServer(Simulator &sim_, Inventory &inventory,
                                    Network &network, StatRegistry &stats_,
@@ -73,9 +138,11 @@ ManagementServer::ManagementServer(Simulator &sim_, Inventory &inventory,
 void
 ManagementServer::backgroundDbTick()
 {
+    if (!bg_txns_stat)
+        bg_txns_stat = &stats.counter("cp.db.background_txns");
     db.runTxns(cfg.background_db_txns, [this] {
-        stats.counter("cp.db.background_txns")
-            .inc(static_cast<std::uint64_t>(cfg.background_db_txns));
+        bg_txns_stat->inc(
+            static_cast<std::uint64_t>(cfg.background_db_txns));
     });
     sim.schedule(cfg.background_db_period,
                  [this] { backgroundDbTick(); });
@@ -84,71 +151,96 @@ ManagementServer::backgroundDbTick()
 bool
 ManagementServer::cancel(TaskId id)
 {
-    auto it = tasks.find(id);
-    if (it == tasks.end() || it->second->finished())
+    if (!tasks.has(id) || tasks.get(id).finished())
         return false;
-    it->second->requestCancel();
+    tasks.get(id).requestCancel();
     return true;
 }
 
 HostAgent &
 ManagementServer::hostAgent(HostId h)
 {
-    auto it = agents.find(h);
-    if (it == agents.end()) {
-        it = agents
-                 .emplace(h, std::make_unique<HostAgent>(sim, h,
-                                                         cfg.agent))
-                 .first;
-    }
-    return *it->second;
+    if (!h.hasSlot())
+        h = inv.host(h).id();
+    if (h.slot >= agents.size())
+        agents.resize(h.slot + 1);
+    auto &agent = agents[h.slot];
+    if (!agent)
+        agent = std::make_unique<HostAgent>(sim, h, cfg.agent);
+    return *agent;
 }
 
 ServiceCenter &
 ManagementServer::datastoreSlots(DatastoreId d)
 {
-    auto it = ds_slots.find(d);
-    if (it == ds_slots.end()) {
-        it = ds_slots
-                 .emplace(d, std::make_unique<ServiceCenter>(
-                                 sim,
-                                 "ds-slots:" + std::to_string(d.value),
-                                 cfg.datastore_slots))
-                 .first;
+    if (!d.hasSlot())
+        d = inv.datastore(d).id();
+    if (d.slot >= ds_slots.size())
+        ds_slots.resize(d.slot + 1);
+    auto &center = ds_slots[d.slot];
+    if (!center) {
+        center = std::make_unique<ServiceCenter>(
+            sim, "ds-slots:" + std::to_string(d.value),
+            cfg.datastore_slots);
     }
-    return *it->second;
-}
-
-const Task &
-ManagementServer::task(TaskId id) const
-{
-    auto it = tasks.find(id);
-    if (it == tasks.end())
-        panic("ManagementServer: no such task %lld",
-              static_cast<long long>(id.value));
-    return *it->second;
+    return *center;
 }
 
 Histogram &
 ManagementServer::latencyHistogram(OpType t)
 {
-    return stats.histogram(
-        std::string("cp.latency_us.") + opTypeName(t),
-        /*min_value=*/100.0, /*growth=*/1.2);
+    Histogram *&h = latency_stats[static_cast<std::size_t>(t)];
+    if (!h) {
+        h = &stats.histogram(
+            std::string("cp.latency_us.") + opTypeName(t),
+            /*min_value=*/100.0, /*growth=*/1.2);
+    }
+    return *h;
+}
+
+ManagementServer::OpStatSet &
+ManagementServer::opStats(OpType t)
+{
+    OpStatSet &s = op_stats[static_cast<std::size_t>(t)];
+    if (!s.total) {
+        const char *op_name = opTypeName(t);
+        s.total =
+            &stats.counter(std::string("cp.ops.") + op_name + ".total");
+        s.latency = &latencyHistogram(t);
+        for (std::size_t p = 0; p < kNumTaskPhases; ++p) {
+            s.phase[p] = &stats.summary(
+                std::string("cp.phase_us.") + op_name + "." +
+                taskPhaseName(static_cast<TaskPhase>(p)));
+        }
+    }
+    return s;
+}
+
+Counter &
+ManagementServer::errorCounter(TaskError e)
+{
+    Counter *&c = error_stats[static_cast<std::size_t>(e)];
+    if (!c)
+        c = &stats.counter(std::string("cp.errors.") + taskErrorName(e));
+    return *c;
 }
 
 TaskId
 ManagementServer::submit(const OpRequest &req, TaskCallback on_done)
 {
-    TaskId id(next_task_id++);
-    auto task_ptr = std::make_shared<Task>(id, req);
-    tasks.emplace(id, task_ptr);
-    task_ptr->markSubmitted(sim.now());
+    TaskId id =
+        tasks.emplace(next_task_id++, [&](void *mem, TaskId tid) {
+            new (mem) Task(tid, req);
+        });
+    Task &t = tasks.get(id);
+    t.markSubmitted(sim.now());
     ++submitted_ops;
-    stats.counter("cp.ops.submitted").inc();
+    if (!submitted_stat)
+        submitted_stat = &stats.counter("cp.ops.submitted");
+    submitted_stat->inc();
 
-    auto ctx = std::make_shared<OpCtx>();
-    ctx->task = task_ptr;
+    OpCtx *ctx = allocCtx();
+    ctx->task = &t;
     ctx->cb = std::move(on_done);
 
     // Per-tenant admission control happens before any server
@@ -161,21 +253,27 @@ ManagementServer::submit(const OpRequest &req, TaskCallback on_done)
             t.markStarted(sim.now());
             t.markFinished(sim.now(), TaskError::RateLimited);
             ++failed_ops;
-            stats.counter("cp.ops.failed").inc();
-            stats.counter("cp.errors.rate-limited").inc();
+            if (!failed_stat)
+                failed_stat = &stats.counter("cp.ops.failed");
+            failed_stat->inc();
+            errorCounter(TaskError::RateLimited).inc();
             if (task_observer)
                 task_observer(t);
-            if (ctx->cb)
-                ctx->cb(t);
+            TaskCallback cb = std::move(ctx->cb);
+            TaskId tid = t.id();
+            releaseCtx(ctx);
+            if (cb)
+                cb(t);
             if (!cfg.retain_finished_tasks)
-                tasks.erase(t.id());
+                tasks.destroy(tid);
         });
         return id;
     }
 
-    SimTime api_start = sim.now();
-    api.submit(costs.sampleApi(req.type), [this, ctx, api_start]() {
-        ctx->task->addPhaseTime(TaskPhase::Api, sim.now() - api_start);
+    ctx->phase_start = sim.now();
+    api.submit(costs.sampleApi(req.type), [this, ctx]() {
+        ctx->task->addPhaseTime(TaskPhase::Api,
+                                sim.now() - ctx->phase_start);
         sched.enqueue(ctx->task, [this, ctx]() {
             ctx->task->markStarted(sim.now());
             if (ctx->task->cancelRequested()) {
@@ -189,7 +287,7 @@ ManagementServer::submit(const OpRequest &req, TaskCallback on_done)
 }
 
 void
-ManagementServer::finish(const CtxPtr &ctx, TaskError err)
+ManagementServer::finish(CtxPtr ctx, TaskError err)
 {
     // Release held execution resources (order: agent, then slot —
     // the reverse of acquisition).
@@ -236,134 +334,165 @@ ManagementServer::finish(const CtxPtr &ctx, TaskError err)
     Task &t = *ctx->task;
     t.markFinished(sim.now(), err);
 
-    const char *op_name = opTypeName(t.type());
     if (err == TaskError::None) {
         ++completed_ops;
-        stats.counter("cp.ops.completed").inc();
+        if (!completed_stat)
+            completed_stat = &stats.counter("cp.ops.completed");
+        completed_stat->inc();
     } else {
         ++failed_ops;
-        stats.counter("cp.ops.failed").inc();
-        stats.counter(std::string("cp.errors.") + taskErrorName(err))
-            .inc();
+        if (!failed_stat)
+            failed_stat = &stats.counter("cp.ops.failed");
+        failed_stat->inc();
+        errorCounter(err).inc();
     }
-    stats.counter(std::string("cp.ops.") + op_name + ".total").inc();
-    latencyHistogram(t.type())
-        .add(static_cast<double>(t.latency()));
+    OpStatSet &os = opStats(t.type());
+    os.total->inc();
+    os.latency->add(static_cast<double>(t.latency()));
     for (std::size_t p = 0; p < kNumTaskPhases; ++p) {
-        TaskPhase phase = static_cast<TaskPhase>(p);
-        SimDuration d = t.phaseTime(phase);
-        stats
-            .summary(std::string("cp.phase_us.") + op_name + "." +
-                     taskPhaseName(phase))
-            .add(static_cast<double>(d));
+        os.phase[p]->add(static_cast<double>(
+            t.phaseTime(static_cast<TaskPhase>(p))));
     }
 
     sched.onTaskDone();
     if (task_observer)
         task_observer(t);
-    if (ctx->cb)
-        ctx->cb(t);
+    // The context goes back to the pool before the callback runs: the
+    // callback routinely submits the tenant's next operation, which
+    // may reuse this very slot.  The task record outlives it until
+    // after the callback has seen it.
+    TaskCallback cb = std::move(ctx->cb);
+    TaskId tid = t.id();
+    releaseCtx(ctx);
+    if (cb)
+        cb(t);
     if (!cfg.retain_finished_tasks)
-        tasks.erase(t.id());
+        tasks.destroy(tid);
 }
 
 void
-ManagementServer::acquireLocks(const CtxPtr &ctx,
+ManagementServer::acquireLocks(CtxPtr ctx,
                                std::vector<LockRequest> reqs,
-                               std::function<void()> then)
+                               InlineAction then)
 {
-    SimTime start = sim.now();
-    locks.acquireAll(reqs, [this, ctx, reqs, start,
-                            then = std::move(then)]() {
-        ctx->held_locks = reqs;
-        ctx->task->addPhaseTime(TaskPhase::Locks, sim.now() - start);
+    ctx->next = std::move(then);
+    ctx->phase_start = sim.now();
+    ctx->pending_locks = std::move(reqs);
+    locks.acquireAll(ctx->pending_locks, [this, ctx]() {
+        ctx->held_locks = std::move(ctx->pending_locks);
+        ctx->task->addPhaseTime(TaskPhase::Locks,
+                                sim.now() - ctx->phase_start);
+        InlineAction then = std::move(ctx->next);
         then();
     });
 }
 
 void
-ManagementServer::runDbPhase(const CtxPtr &ctx, int txns,
-                             TaskPhase phase,
-                             std::function<void()> then)
+ManagementServer::runDbPhase(CtxPtr ctx, int txns, TaskPhase phase,
+                             InlineAction then)
 {
-    SimTime start = sim.now();
-    db.runTxns(txns, [this, ctx, phase, start,
-                      then = std::move(then)]() {
-        ctx->task->addPhaseTime(phase, sim.now() - start);
+    ctx->next = std::move(then);
+    ctx->phase_start = sim.now();
+    ctx->db_phase = phase;
+    db.runTxns(txns, [this, ctx]() {
+        ctx->task->addPhaseTime(ctx->db_phase,
+                                sim.now() - ctx->phase_start);
+        InlineAction then = std::move(ctx->next);
         then();
     });
 }
 
 void
-ManagementServer::runAgentPhase(const CtxPtr &ctx, HostId host,
-                                std::function<void()> then)
+ManagementServer::runAgentPhase(CtxPtr ctx, HostId host,
+                                InlineAction then)
 {
-    SimTime start = sim.now();
+    ctx->next = std::move(then);
+    ctx->phase_start = sim.now();
     SimDuration service = costs.sampleHost(ctx->task->type());
-    hostAgent(host).execute(
-        service, [this, ctx, start, then = std::move(then)]() {
-            ctx->task->addPhaseTime(TaskPhase::HostAgent,
-                                    sim.now() - start);
-            then();
-        });
+    hostAgent(host).execute(service, [this, ctx]() {
+        ctx->task->addPhaseTime(TaskPhase::HostAgent,
+                                sim.now() - ctx->phase_start);
+        InlineAction then = std::move(ctx->next);
+        then();
+    });
 }
 
 void
-ManagementServer::runAgentDataPhase(const CtxPtr &ctx, HostId host,
+ManagementServer::runAgentDataPhase(CtxPtr ctx, HostId host,
                                     DatastoreId slot_ds,
                                     DatastoreId src_ds,
                                     DatastoreId dst_ds, Bytes bytes,
-                                    std::function<void()> then)
+                                    InlineAction then)
 {
-    SimTime t0 = sim.now();
-    ServiceCenter &slot = datastoreSlots(slot_ds);
-    slot.acquire([this, ctx, host, slot_ds, src_ds, dst_ds, bytes, t0,
-                  then = std::move(then)]() mutable {
-        ctx->held_ds_slot = &datastoreSlots(slot_ds);
-        hostAgent(host).acquireSlot([this, ctx, host, src_ds, dst_ds,
-                                     bytes, t0,
-                                     then = std::move(then)]() mutable {
-            ctx->held_agent = &hostAgent(host);
-            SimDuration setup = costs.sampleHost(ctx->task->type());
-            sim.schedule(setup, [this, ctx, src_ds, dst_ds, bytes, t0,
-                                 then = std::move(then)]() mutable {
-                ctx->task->addPhaseTime(TaskPhase::HostAgent,
-                                        sim.now() - t0);
-                if (bytes <= 0) {
-                    ctx->held_agent->release();
-                    ctx->held_agent = nullptr;
-                    ctx->held_ds_slot->release();
-                    ctx->held_ds_slot = nullptr;
-                    then();
-                    return;
-                }
-                SimTime c0 = sim.now();
-                SharedBandwidthResource &pipe =
-                    (src_ds == dst_ds)
-                        ? inv.datastore(dst_ds).copyPipe()
-                        : net.fabric();
-                pipe.startTransfer(
-                    bytes,
-                    [this, ctx, bytes, c0,
-                     then = std::move(then)]() mutable {
-                        ctx->task->addPhaseTime(TaskPhase::DataCopy,
-                                                sim.now() - c0);
-                        bytes_moved += bytes;
-                        stats.counter("cp.bytes_moved")
-                            .inc(static_cast<std::uint64_t>(bytes));
-                        ctx->held_agent->release();
-                        ctx->held_agent = nullptr;
-                        ctx->held_ds_slot->release();
-                        ctx->held_ds_slot = nullptr;
-                        then();
-                    });
-            });
-        });
-    });
+    ctx->next = std::move(then);
+    ctx->phase_start = sim.now();
+    ctx->data_host = host;
+    ctx->data_slot_ds = slot_ds;
+    ctx->data_src_ds = src_ds;
+    ctx->data_dst_ds = dst_ds;
+    ctx->data_bytes = bytes;
+    datastoreSlots(slot_ds).acquire(
+        [this, ctx]() { dataSlotGranted(ctx); });
 }
 
 void
-ManagementServer::runTask(const CtxPtr &ctx)
+ManagementServer::dataSlotGranted(CtxPtr ctx)
+{
+    ctx->held_ds_slot = &datastoreSlots(ctx->data_slot_ds);
+    hostAgent(ctx->data_host)
+        .acquireSlot([this, ctx]() { dataAgentGranted(ctx); });
+}
+
+void
+ManagementServer::dataAgentGranted(CtxPtr ctx)
+{
+    ctx->held_agent = &hostAgent(ctx->data_host);
+    SimDuration setup = costs.sampleHost(ctx->task->type());
+    sim.schedule(setup, [this, ctx]() { dataSetupDone(ctx); });
+}
+
+void
+ManagementServer::dataSetupDone(CtxPtr ctx)
+{
+    ctx->task->addPhaseTime(TaskPhase::HostAgent,
+                            sim.now() - ctx->phase_start);
+    if (ctx->data_bytes <= 0) {
+        ctx->held_agent->release();
+        ctx->held_agent = nullptr;
+        ctx->held_ds_slot->release();
+        ctx->held_ds_slot = nullptr;
+        InlineAction then = std::move(ctx->next);
+        then();
+        return;
+    }
+    ctx->phase_start = sim.now();
+    SharedBandwidthResource &pipe =
+        (ctx->data_src_ds == ctx->data_dst_ds)
+            ? inv.datastore(ctx->data_dst_ds).copyPipe()
+            : net.fabric();
+    pipe.startTransfer(ctx->data_bytes,
+                       [this, ctx]() { dataCopyDone(ctx); });
+}
+
+void
+ManagementServer::dataCopyDone(CtxPtr ctx)
+{
+    ctx->task->addPhaseTime(TaskPhase::DataCopy,
+                            sim.now() - ctx->phase_start);
+    bytes_moved += ctx->data_bytes;
+    if (!bytes_moved_stat)
+        bytes_moved_stat = &stats.counter("cp.bytes_moved");
+    bytes_moved_stat->inc(static_cast<std::uint64_t>(ctx->data_bytes));
+    ctx->held_agent->release();
+    ctx->held_agent = nullptr;
+    ctx->held_ds_slot->release();
+    ctx->held_ds_slot = nullptr;
+    InlineAction then = std::move(ctx->next);
+    then();
+}
+
+void
+ManagementServer::runTask(CtxPtr ctx)
 {
     switch (ctx->task->type()) {
       case OpType::PowerOn:
@@ -424,7 +553,7 @@ ManagementServer::runTask(const CtxPtr &ctx)
  * host resources before the host agent runs (admission control).
  */
 void
-ManagementServer::execPower(const CtxPtr &ctx)
+ManagementServer::execPower(CtxPtr ctx)
 {
     const OpRequest &req = ctx->task->request();
     OpType t = req.type;
@@ -542,7 +671,7 @@ ManagementServer::execPower(const CtxPtr &ctx)
  * datastore locks; the record is provisional until the task succeeds.
  */
 void
-ManagementServer::execCreateVm(const CtxPtr &ctx)
+ManagementServer::execCreateVm(CtxPtr ctx)
 {
     const OpRequest &req = ctx->task->request();
     if (!inv.hasHost(req.host)) {
@@ -615,7 +744,7 @@ ManagementServer::execCreateVm(const CtxPtr &ctx)
  * prepared base disk — no bulk data at all.
  */
 void
-ManagementServer::execClone(const CtxPtr &ctx)
+ManagementServer::execClone(CtxPtr ctx)
 {
     const OpRequest &req = ctx->task->request();
     OpType t = req.type;
@@ -741,7 +870,7 @@ ManagementServer::execClone(const CtxPtr &ctx)
  * disks must not back any linked clones.
  */
 void
-ManagementServer::execDestroy(const CtxPtr &ctx)
+ManagementServer::execDestroy(CtxPtr ctx)
 {
     const OpRequest &req = ctx->task->request();
     if (!inv.hasVm(req.vm)) {
@@ -824,7 +953,7 @@ ManagementServer::execDestroy(const CtxPtr &ctx)
  * RegisterVm / UnregisterVm: light record operations.
  */
 void
-ManagementServer::execRegister(const CtxPtr &ctx)
+ManagementServer::execRegister(CtxPtr ctx)
 {
     const OpRequest &req = ctx->task->request();
     OpType t = req.type;
@@ -902,7 +1031,7 @@ ManagementServer::execRegister(const CtxPtr &ctx)
  * admission with its new shape.
  */
 void
-ManagementServer::execReconfigure(const CtxPtr &ctx)
+ManagementServer::execReconfigure(CtxPtr ctx)
 {
     const OpRequest &req = ctx->task->request();
     if (!inv.hasVm(req.vm)) {
@@ -966,7 +1095,7 @@ ManagementServer::execReconfigure(const CtxPtr &ctx)
  * Snapshot: appends a copy-on-write delta to the VM's disk chain.
  */
 void
-ManagementServer::execSnapshot(const CtxPtr &ctx)
+ManagementServer::execSnapshot(CtxPtr ctx)
 {
     const OpRequest &req = ctx->task->request();
     if (!inv.hasVm(req.vm)) {
@@ -1028,7 +1157,7 @@ ManagementServer::execSnapshot(const CtxPtr &ctx)
  * its parent (a data-moving operation on the datastore pipe).
  */
 void
-ManagementServer::execRemoveSnapshot(const CtxPtr &ctx)
+ManagementServer::execRemoveSnapshot(CtxPtr ctx)
 {
     const OpRequest &req = ctx->task->request();
     if (!inv.hasVm(req.vm)) {
@@ -1104,7 +1233,7 @@ ManagementServer::execRemoveSnapshot(const CtxPtr &ctx)
  * delta depends on a base disk that stays behind).
  */
 void
-ManagementServer::execRelocate(const CtxPtr &ctx)
+ManagementServer::execRelocate(CtxPtr ctx)
 {
     const OpRequest &req = ctx->task->request();
     if (!inv.hasVm(req.vm)) {
@@ -1201,7 +1330,7 @@ ManagementServer::execRelocate(const CtxPtr &ctx)
  * host over the management network (shared storage stays put).
  */
 void
-ManagementServer::execMigrate(const CtxPtr &ctx)
+ManagementServer::execMigrate(CtxPtr ctx)
 {
     const OpRequest &req = ctx->task->request();
     if (!inv.hasVm(req.vm) || !inv.hasHost(req.host)) {
@@ -1303,7 +1432,7 @@ ManagementServer::execMigrate(const CtxPtr &ctx)
  * evacuating them is the cloud layer's job.
  */
 void
-ManagementServer::execHostLifecycle(const CtxPtr &ctx)
+ManagementServer::execHostLifecycle(CtxPtr ctx)
 {
     const OpRequest &req = ctx->task->request();
     OpType t = req.type;
@@ -1393,7 +1522,7 @@ ManagementServer::execHostLifecycle(const CtxPtr &ctx)
  * base disks so linked clones can land on more datastores).
  */
 void
-ManagementServer::execReplicateBaseDisk(const CtxPtr &ctx)
+ManagementServer::execReplicateBaseDisk(CtxPtr ctx)
 {
     const OpRequest &req = ctx->task->request();
     if (!req.base_disk.valid() || !inv.hasDisk(req.base_disk) ||
@@ -1464,7 +1593,7 @@ ManagementServer::execReplicateBaseDisk(const CtxPtr &ctx)
  * base for retirement).
  */
 void
-ManagementServer::execConsolidateDisk(const CtxPtr &ctx)
+ManagementServer::execConsolidateDisk(CtxPtr ctx)
 {
     const OpRequest &req = ctx->task->request();
     if (!req.base_disk.valid() || !inv.hasDisk(req.base_disk) ||

@@ -19,8 +19,9 @@
 #ifndef VCP_CONTROLPLANE_MANAGEMENT_SERVER_HH
 #define VCP_CONTROLPLANE_MANAGEMENT_SERVER_HH
 
+#include <array>
 #include <memory>
-#include <unordered_map>
+#include <vector>
 
 #include "controlplane/cost_model.hh"
 #include "controlplane/database.hh"
@@ -30,6 +31,7 @@
 #include "controlplane/rate_limiter.hh"
 #include "controlplane/scheduler.hh"
 #include "controlplane/task.hh"
+#include "infra/arena.hh"
 #include "infra/inventory.hh"
 #include "infra/network.hh"
 #include "sim/service_center.hh"
@@ -88,6 +90,7 @@ class ManagementServer
     ManagementServer(Simulator &sim, Inventory &inventory,
                      Network &network, StatRegistry &stats,
                      const ManagementServerConfig &cfg = {});
+    ~ManagementServer();
 
     ManagementServer(const ManagementServer &) = delete;
     ManagementServer &operator=(const ManagementServer &) = delete;
@@ -110,8 +113,8 @@ class ManagementServer
     bool cancel(TaskId id);
 
     /** @{ Task lookup (only finished tasks may have been purged). */
-    bool hasTask(TaskId id) const { return tasks.count(id) > 0; }
-    const Task &task(TaskId id) const;
+    bool hasTask(TaskId id) const { return tasks.has(id); }
+    const Task &task(TaskId id) const { return tasks.get(id); }
     /** @} */
 
     /** @{ Component access for tests, benches, and the cloud layer. */
@@ -153,46 +156,71 @@ class ManagementServer
 
   private:
     struct OpCtx;
-    using CtxPtr = std::shared_ptr<OpCtx>;
+
+    /**
+     * Contexts are owned by a pool on the server and passed around as
+     * raw pointers: the continuation chain of one operation is
+     * strictly linear (at most one pending continuation per context,
+     * finish() is terminal), so the pointer cannot outlive its slot.
+     */
+    using CtxPtr = OpCtx *;
 
     /** Dispatch entry: validate and route to the per-op executor. */
-    void runTask(const CtxPtr &ctx);
+    void runTask(CtxPtr ctx);
 
     /** @{ Per-op executors (documented in the .cc). */
-    void execPower(const CtxPtr &ctx);
-    void execCreateVm(const CtxPtr &ctx);
-    void execClone(const CtxPtr &ctx);
-    void execDestroy(const CtxPtr &ctx);
-    void execRegister(const CtxPtr &ctx);
-    void execReconfigure(const CtxPtr &ctx);
-    void execSnapshot(const CtxPtr &ctx);
-    void execRemoveSnapshot(const CtxPtr &ctx);
-    void execRelocate(const CtxPtr &ctx);
-    void execMigrate(const CtxPtr &ctx);
-    void execHostLifecycle(const CtxPtr &ctx);
-    void execReplicateBaseDisk(const CtxPtr &ctx);
-    void execConsolidateDisk(const CtxPtr &ctx);
+    void execPower(CtxPtr ctx);
+    void execCreateVm(CtxPtr ctx);
+    void execClone(CtxPtr ctx);
+    void execDestroy(CtxPtr ctx);
+    void execRegister(CtxPtr ctx);
+    void execReconfigure(CtxPtr ctx);
+    void execSnapshot(CtxPtr ctx);
+    void execRemoveSnapshot(CtxPtr ctx);
+    void execRelocate(CtxPtr ctx);
+    void execMigrate(CtxPtr ctx);
+    void execHostLifecycle(CtxPtr ctx);
+    void execReplicateBaseDisk(CtxPtr ctx);
+    void execConsolidateDisk(CtxPtr ctx);
     /** @} */
 
-    /** @{ Pipeline helpers. */
-    void acquireLocks(const CtxPtr &ctx, std::vector<LockRequest> reqs,
-                      std::function<void()> then);
-    void runDbPhase(const CtxPtr &ctx, int txns, TaskPhase phase,
-                    std::function<void()> then);
-    void runAgentPhase(const CtxPtr &ctx, HostId host,
-                       std::function<void()> then);
+    /**
+     * @{ Pipeline helpers.
+     *
+     * Each parks the continuation @p then in the context (OpCtx::next)
+     * and chains through callbacks capturing only {this, ctx}, so a
+     * pipeline hop never re-wraps the continuation — the wrapping
+     * would spill InlineAction's inline buffer and allocate per hop.
+     */
+    void acquireLocks(CtxPtr ctx, std::vector<LockRequest> reqs,
+                      InlineAction then);
+    void runDbPhase(CtxPtr ctx, int txns, TaskPhase phase,
+                    InlineAction then);
+    void runAgentPhase(CtxPtr ctx, HostId host, InlineAction then);
 
     /**
      * Acquire datastore slot + host agent slot, run host setup, then
      * move @p bytes (0 = no copy), release both, and continue.
      */
-    void runAgentDataPhase(const CtxPtr &ctx, HostId host,
+    void runAgentDataPhase(CtxPtr ctx, HostId host,
                            DatastoreId slot_ds, DatastoreId src_ds,
                            DatastoreId dst_ds, Bytes bytes,
-                           std::function<void()> then);
+                           InlineAction then);
+
+    /** @{ runAgentDataPhase stages (parameters live in the ctx). */
+    void dataSlotGranted(CtxPtr ctx);
+    void dataAgentGranted(CtxPtr ctx);
+    void dataSetupDone(CtxPtr ctx);
+    void dataCopyDone(CtxPtr ctx);
+    /** @} */
 
     /** Finish the task, releasing everything the ctx still holds. */
-    void finish(const CtxPtr &ctx, TaskError err);
+    void finish(CtxPtr ctx, TaskError err);
+    /** @} */
+
+    /** @{ Context pool. */
+    OpCtx *allocCtx();
+    void releaseCtx(OpCtx *ctx);
     /** @} */
 
     Simulator &sim;
@@ -211,10 +239,51 @@ class ManagementServer
     /** Recurring statistics-rollup load on the database. */
     void backgroundDbTick();
 
-    std::unordered_map<HostId, std::unique_ptr<HostAgent>> agents;
-    std::unordered_map<DatastoreId, std::unique_ptr<ServiceCenter>>
-        ds_slots;
-    std::unordered_map<TaskId, std::shared_ptr<Task>> tasks;
+    /**
+     * Hosts and datastores are never destroyed, so their arena slots
+     * are dense and stable: the per-host agents and per-datastore
+     * slot centers live in plain vectors indexed by slot.  Ids built
+     * from bare values are normalized to full handles first.
+     */
+    std::vector<std::unique_ptr<HostAgent>> agents;
+    std::vector<std::unique_ptr<ServiceCenter>> ds_slots;
+
+    /** Task records, pooled; finished tasks recycle their slot. */
+    SlotArena<Task, TaskId> tasks{"task"};
+
+    /** @{ Context pool backing store. */
+    std::vector<std::unique_ptr<OpCtx>> ctx_pool;
+    std::vector<OpCtx *> ctx_free;
+    /** @} */
+
+    /**
+     * Pre-resolved stat handles.  Dotted names are resolved at most
+     * once per (op type, stat) and recorded through raw pointers; all
+     * caches fill lazily on first use so the set of registered names
+     * — and therefore the sorted dump — matches what the string-built
+     * lookups used to produce.
+     */
+    struct OpStatSet
+    {
+        Counter *total = nullptr;
+        Histogram *latency = nullptr;
+        std::array<SummaryStats *, kNumTaskPhases> phase{};
+    };
+
+    /** Cache for finish()-side per-op stats (fills all fields). */
+    OpStatSet &opStats(OpType t);
+
+    /** Cache for one error counter ("cp.errors.<name>"). */
+    Counter &errorCounter(TaskError e);
+
+    std::array<OpStatSet, kNumOpTypes> op_stats{};
+    std::array<Histogram *, kNumOpTypes> latency_stats{};
+    std::array<Counter *, kNumTaskErrors> error_stats{};
+    Counter *submitted_stat = nullptr;
+    Counter *completed_stat = nullptr;
+    Counter *failed_stat = nullptr;
+    Counter *bytes_moved_stat = nullptr;
+    Counter *bg_txns_stat = nullptr;
 
     TaskCallback task_observer;
     std::int64_t next_task_id = 1;

@@ -48,8 +48,7 @@ TaskScheduler::utilization() const
 }
 
 void
-TaskScheduler::enqueue(const std::shared_ptr<Task> &task,
-                       std::function<void()> run)
+TaskScheduler::enqueue(Task *task, InlineAction run)
 {
     Waiting w;
     w.task = task;

@@ -15,13 +15,12 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <map>
-#include <memory>
 #include <string>
 
 #include "controlplane/task.hh"
 #include "infra/ids.hh"
+#include "sim/inline_action.hh"
 #include "sim/simulator.hh"
 #include "sim/summary.hh"
 
@@ -53,10 +52,11 @@ class TaskScheduler
 
     /**
      * Queue a task; @p run fires when it is dispatched.  The caller
-     * must call onTaskDone() exactly once when the task finishes.
+     * must call onTaskDone() exactly once when the task finishes,
+     * and must keep @p task alive until dispatch (queue-phase time is
+     * charged to it then).
      */
-    void enqueue(const std::shared_ptr<Task> &task,
-                 std::function<void()> run);
+    void enqueue(Task *task, InlineAction run);
 
     /** Signal a dispatched task finished, freeing its slot. */
     void onTaskDone();
@@ -81,8 +81,8 @@ class TaskScheduler
   private:
     struct Waiting
     {
-        std::shared_ptr<Task> task;
-        std::function<void()> run;
+        Task *task = nullptr;
+        InlineAction run;
         SimTime enqueued = 0;
         std::uint64_t seq = 0;
     };

@@ -62,6 +62,9 @@ enum class TaskError
     RateLimited,      ///< rejected by the tenant's API rate limit
 };
 
+/** Number of TaskError codes (for error-counter caches). */
+constexpr std::size_t kNumTaskErrors = 9;
+
 /** Stable short name for an error code. */
 const char *taskErrorName(TaskError e);
 

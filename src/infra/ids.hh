@@ -6,11 +6,25 @@
  * to by a small integer id.  Wrapping the integer in a tag-typed
  * struct prevents passing a VmId where a HostId is expected — the
  * class of bug most endemic to inventory-management code.
+ *
+ * Ids double as *generational handles*: entities live in slot-map
+ * arenas (see infra/arena.hh), and an id minted by an arena carries
+ * the entity's slot index plus the slot's generation at creation
+ * time.  Lookup is then an index plus a generation check instead of
+ * a hash probe, and a handle that outlives its entity is detected
+ * deterministically (the slot's generation has moved on).
+ *
+ * The slot and generation are lookup *hints* only: identity,
+ * ordering, and hashing all use the value alone, so an id
+ * reconstructed from a bare value (traces, tests, external input)
+ * compares equal to the arena-minted handle for the same entity and
+ * still resolves — just through a slower scan.
  */
 
 #ifndef VCP_INFRA_IDS_HH
 #define VCP_INFRA_IDS_HH
 
+#include <compare>
 #include <cstdint>
 #include <functional>
 
@@ -20,15 +34,40 @@ namespace vcp {
 template <typename Tag>
 struct Id
 {
+    /** Slot sentinel: the id carries no arena hint. */
+    static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
     std::int64_t value = -1;
+
+    /** Arena slot index hint (kNoSlot when absent). */
+    std::uint32_t slot = kNoSlot;
+
+    /** Slot generation at mint time (meaningful only with a slot). */
+    std::uint32_t gen = 0;
 
     constexpr Id() = default;
     constexpr explicit Id(std::int64_t v) : value(v) {}
+    constexpr Id(std::int64_t v, std::uint32_t s, std::uint32_t g)
+        : value(v), slot(s), gen(g)
+    {}
 
     constexpr bool valid() const { return value >= 0; }
 
-    constexpr bool operator==(const Id &) const = default;
-    constexpr auto operator<=>(const Id &) const = default;
+    /** True if the id carries an arena slot hint. */
+    constexpr bool hasSlot() const { return slot != kNoSlot; }
+
+    /** Identity is the value alone; slot/gen are lookup hints. */
+    constexpr bool
+    operator==(const Id &o) const
+    {
+        return value == o.value;
+    }
+
+    constexpr std::strong_ordering
+    operator<=>(const Id &o) const
+    {
+        return value <=> o.value;
+    }
 };
 
 using HostId = Id<struct HostIdTag>;

@@ -1,7 +1,5 @@
 #include "infra/inventory.hh"
 
-#include <algorithm>
-
 #include "sim/logging.hh"
 
 namespace vcp {
@@ -13,26 +11,26 @@ Inventory::Inventory(Simulator &sim_)
 HostId
 Inventory::addHost(const HostConfig &cfg)
 {
-    HostId id(next_id++);
-    hosts.emplace(id, std::make_unique<Host>(id, cfg));
-    return id;
+    return hosts.emplace(next_id++, [&](void *mem, HostId id) {
+        new (mem) Host(id, cfg);
+    });
 }
 
 DatastoreId
 Inventory::addDatastore(const DatastoreConfig &cfg)
 {
-    DatastoreId id(next_id++);
-    datastores_.emplace(id,
-                        std::make_unique<Datastore>(sim, id, cfg));
-    return id;
+    return datastores_.emplace(next_id++,
+                               [&](void *mem, DatastoreId id) {
+        new (mem) Datastore(sim, id, cfg);
+    });
 }
 
 ClusterId
 Inventory::addCluster(const std::string &name)
 {
-    ClusterId id(next_id++);
-    clusters.emplace(id, std::make_unique<Cluster>(id, name));
-    return id;
+    return clusters.emplace(next_id++, [&](void *mem, ClusterId id) {
+        new (mem) Cluster(id, name);
+    });
 }
 
 void
@@ -56,17 +54,17 @@ Inventory::connectHostToDatastore(HostId h, DatastoreId d)
 VmId
 Inventory::createVm(const VmConfig &cfg)
 {
-    VmId id(next_id++);
-    auto vm = std::make_unique<Vm>();
-    vm->id = id;
-    vm->name = cfg.name;
-    vm->vcpus = cfg.vcpus;
-    vm->memory = cfg.memory;
-    vm->tenant = cfg.tenant;
-    vm->vapp = cfg.vapp;
-    vm->is_template = cfg.is_template;
-    vm->created_at = sim.now();
-    vms.emplace(id, std::move(vm));
+    VmId id = vms.emplace(next_id++, [&](void *mem, VmId vid) {
+        Vm *vm = new (mem) Vm();
+        vm->id = vid;
+        vm->name = cfg.name;
+        vm->vcpus = cfg.vcpus;
+        vm->memory = cfg.memory;
+        vm->tenant = cfg.tenant;
+        vm->vapp = cfg.vapp;
+        vm->is_template = cfg.is_template;
+        vm->created_at = sim.now();
+    });
     ++vm_creations;
     return id;
 }
@@ -95,18 +93,17 @@ Inventory::createDisk(const DiskConfig &cfg)
         depth = par.chain_depth + 1;
     }
 
-    DiskId id(next_id++);
-    VirtualDisk d;
-    d.id = id;
-    d.kind = cfg.kind;
-    d.datastore = cfg.datastore;
-    d.capacity = cfg.capacity;
-    d.allocated = to_reserve;
-    d.parent = cfg.parent;
-    d.owner = cfg.owner;
-    d.chain_depth = depth;
-    disks.emplace(id, d);
-    return id;
+    return disks.emplace(next_id++, [&](void *mem, DiskId id) {
+        VirtualDisk *d = new (mem) VirtualDisk();
+        d->id = id;
+        d->kind = cfg.kind;
+        d->datastore = cfg.datastore;
+        d->capacity = cfg.capacity;
+        d->allocated = to_reserve;
+        d->parent = cfg.parent;
+        d->owner = cfg.owner;
+        d->chain_depth = depth;
+    });
 }
 
 bool
@@ -122,7 +119,7 @@ Inventory::destroyDisk(DiskId id)
         if (par.ref_count < 0)
             panic("Inventory: disk ref count underflow");
     }
-    disks.erase(id);
+    disks.destroy(d.id);
     return true;
 }
 
@@ -154,7 +151,7 @@ Inventory::destroyVm(VmId id)
         if (!destroyDisk(*it))
             panic("Inventory::destroyVm: chain destroy failed");
     }
-    vms.erase(id);
+    vms.destroy(v.id);
     return true;
 }
 
@@ -170,125 +167,94 @@ Inventory::growDisk(DiskId id, Bytes by)
     return true;
 }
 
-namespace {
-
-template <typename Map, typename IdT>
-auto &
-lookupOrPanic(Map &map, IdT id, const char *what)
-{
-    auto it = map.find(id);
-    if (it == map.end())
-        panic("Inventory: no such %s (id %lld)", what,
-              static_cast<long long>(id.value));
-    return it->second;
-}
-
-} // namespace
-
 Host &
 Inventory::host(HostId id)
 {
-    return *lookupOrPanic(hosts, id, "host");
+    return hosts.get(id);
 }
 
 const Host &
 Inventory::host(HostId id) const
 {
-    return *lookupOrPanic(hosts, id, "host");
+    return hosts.get(id);
 }
 
 Datastore &
 Inventory::datastore(DatastoreId id)
 {
-    return *lookupOrPanic(datastores_, id, "datastore");
+    return datastores_.get(id);
 }
 
 const Datastore &
 Inventory::datastore(DatastoreId id) const
 {
-    return *lookupOrPanic(datastores_, id, "datastore");
+    return datastores_.get(id);
 }
 
 Cluster &
 Inventory::cluster(ClusterId id)
 {
-    return *lookupOrPanic(clusters, id, "cluster");
+    return clusters.get(id);
 }
 
 const Cluster &
 Inventory::cluster(ClusterId id) const
 {
-    return *lookupOrPanic(clusters, id, "cluster");
+    return clusters.get(id);
 }
 
 Vm &
 Inventory::vm(VmId id)
 {
-    return *lookupOrPanic(vms, id, "vm");
+    return vms.get(id);
 }
 
 const Vm &
 Inventory::vm(VmId id) const
 {
-    return *lookupOrPanic(vms, id, "vm");
+    return vms.get(id);
 }
 
 VirtualDisk &
 Inventory::disk(DiskId id)
 {
-    return lookupOrPanic(disks, id, "disk");
+    return disks.get(id);
 }
 
 const VirtualDisk &
 Inventory::disk(DiskId id) const
 {
-    return lookupOrPanic(disks, id, "disk");
+    return disks.get(id);
 }
-
-namespace {
-
-template <typename Map, typename IdT>
-std::vector<IdT>
-sortedIds(const Map &map)
-{
-    std::vector<IdT> out;
-    out.reserve(map.size());
-    for (const auto &kv : map)
-        out.push_back(kv.first);
-    std::sort(out.begin(), out.end());
-    return out;
-}
-
-} // namespace
 
 std::vector<HostId>
 Inventory::hostIds() const
 {
-    return sortedIds<decltype(hosts), HostId>(hosts);
+    return hosts.ids();
 }
 
 std::vector<DatastoreId>
 Inventory::datastoreIds() const
 {
-    return sortedIds<decltype(datastores_), DatastoreId>(datastores_);
+    return datastores_.ids();
 }
 
 std::vector<ClusterId>
 Inventory::clusterIds() const
 {
-    return sortedIds<decltype(clusters), ClusterId>(clusters);
+    return clusters.ids();
 }
 
 std::vector<VmId>
 Inventory::vmIds() const
 {
-    return sortedIds<decltype(vms), VmId>(vms);
+    return vms.ids();
 }
 
 std::vector<DiskId>
 Inventory::diskIds() const
 {
-    return sortedIds<decltype(disks), DiskId>(disks);
+    return disks.ids();
 }
 
 } // namespace vcp

@@ -9,11 +9,10 @@
 #ifndef VCP_INFRA_INVENTORY_HH
 #define VCP_INFRA_INVENTORY_HH
 
-#include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "infra/arena.hh"
 #include "infra/cluster.hh"
 #include "infra/datastore.hh"
 #include "infra/disk.hh"
@@ -116,10 +115,10 @@ class Inventory
     const VirtualDisk &disk(DiskId id) const;
     /** @} */
 
-    /** @{ Existence checks. */
-    bool hasVm(VmId id) const { return vms.count(id) > 0; }
-    bool hasDisk(DiskId id) const { return disks.count(id) > 0; }
-    bool hasHost(HostId id) const { return hosts.count(id) > 0; }
+    /** @{ Existence checks (stale handles report false). */
+    bool hasVm(VmId id) const { return vms.has(id); }
+    bool hasDisk(DiskId id) const { return disks.has(id); }
+    bool hasHost(HostId id) const { return hosts.has(id); }
     /** @} */
 
     /**
@@ -150,12 +149,11 @@ class Inventory
   private:
     Simulator &sim;
 
-    std::unordered_map<HostId, std::unique_ptr<Host>> hosts;
-    std::unordered_map<DatastoreId, std::unique_ptr<Datastore>>
-        datastores_;
-    std::unordered_map<ClusterId, std::unique_ptr<Cluster>> clusters;
-    std::unordered_map<VmId, std::unique_ptr<Vm>> vms;
-    std::unordered_map<DiskId, VirtualDisk> disks;
+    SlotArena<Host, HostId> hosts{"host"};
+    SlotArena<Datastore, DatastoreId> datastores_{"datastore"};
+    SlotArena<Cluster, ClusterId> clusters{"cluster"};
+    SlotArena<Vm, VmId> vms{"vm"};
+    SlotArena<VirtualDisk, DiskId> disks{"disk"};
 
     std::int64_t next_id = 0;
     std::uint64_t vm_creations = 0;

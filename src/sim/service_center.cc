@@ -63,7 +63,10 @@ ServiceCenter::drain()
         waiting.pop_front();
         wait_stats.add(static_cast<double>(sim.now() - p.enqueued));
         occupy();
-        p.start();
+        if (p.isJob())
+            scheduleCompletion(p.service, std::move(p.start));
+        else
+            p.start();
     }
 }
 
@@ -89,20 +92,49 @@ ServiceCenter::release()
 }
 
 void
+ServiceCenter::scheduleCompletion(SimDuration service_time,
+                                  InlineAction done)
+{
+    std::uint32_t idx;
+    if (!free_flights.empty()) {
+        idx = free_flights.back();
+        free_flights.pop_back();
+        in_flight[idx] = std::move(done);
+    } else {
+        idx = static_cast<std::uint32_t>(in_flight.size());
+        in_flight.push_back(std::move(done));
+    }
+    sim.schedule(service_time, [this, idx] { completeJob(idx); });
+}
+
+void
+ServiceCenter::completeJob(std::uint32_t idx)
+{
+    InlineAction done = std::move(in_flight[idx]);
+    free_flights.push_back(idx);
+    // Free the server first so a same-tick waiter can start, then
+    // run the completion.
+    release();
+    if (done)
+        done();
+}
+
+void
 ServiceCenter::submit(SimDuration service_time, InlineAction done)
 {
     if (service_time < 0)
         panic("ServiceCenter %s: negative service time", label.c_str());
-    acquire([this, service_time, done = std::move(done)]() mutable {
-        sim.schedule(service_time,
-                     [this, done = std::move(done)]() mutable {
-                         // Free the server first so a same-tick waiter
-                         // can start, then run the completion.
-                         release();
-                         if (done)
-                             done();
-                     });
-    });
+    if (busy < num_servers && waiting.empty()) {
+        wait_stats.add(0.0);
+        occupy();
+        scheduleCompletion(service_time, std::move(done));
+        return;
+    }
+    Pending p;
+    p.enqueued = sim.now();
+    p.service = service_time;
+    p.start = std::move(done);
+    waiting.push_back(std::move(p));
 }
 
 } // namespace vcp

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <deque>
 #include <string>
+#include <vector>
 
 #include "sim/inline_action.hh"
 
@@ -88,7 +89,15 @@ class ServiceCenter
     struct Pending
     {
         SimTime enqueued = 0;
+
+        /** Queued submit() jobs carry their service time; acquire()
+         *  waiters use the -1 sentinel. */
+        SimDuration service = -1;
+
+        /** The job's completion (submit) or the grant (acquire). */
         InlineAction start;
+
+        bool isJob() const { return service >= 0; }
     };
 
     /** Grant servers to waiters while any are free. */
@@ -100,6 +109,18 @@ class ServiceCenter
     /** Internal: mark one server free and drain the queue. */
     void vacate();
 
+    /**
+     * Park @p done in the in-flight pool and schedule the job's
+     * completion event.  The event captures only {this, index}, so a
+     * submit() never re-wraps the caller's action — the flat path
+     * DESIGN.md's "Model performance" section describes.
+     */
+    void scheduleCompletion(SimDuration service_time,
+                            InlineAction done);
+
+    /** Completion event body: free the server, run the done action. */
+    void completeJob(std::uint32_t idx);
+
     Simulator &sim;
     std::string label;
     int num_servers;
@@ -110,6 +131,10 @@ class ServiceCenter
     SimDuration busy_accum = 0;
     SimTime last_busy_change = 0;
     SummaryStats wait_stats;
+
+    /** Completion actions of executing jobs, recycled by index. */
+    std::vector<InlineAction> in_flight;
+    std::vector<std::uint32_t> free_flights;
 };
 
 } // namespace vcp

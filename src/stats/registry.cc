@@ -44,10 +44,24 @@ StatRegistry::has(const std::string &name) const
            histograms.count(name) || summaries.count(name);
 }
 
+template <typename Map>
+std::vector<std::string>
+StatRegistry::sortedKeys(const Map &map)
+{
+    std::vector<std::string> out;
+    out.reserve(map.size());
+    for (const auto &kv : map)
+        out.push_back(kv.first);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
 std::vector<std::string>
 StatRegistry::names() const
 {
     std::vector<std::string> out;
+    out.reserve(counters.size() + gauges.size() + histograms.size() +
+                summaries.size());
     for (const auto &kv : counters)
         out.push_back(kv.first);
     for (const auto &kv : gauges)
@@ -78,19 +92,20 @@ StatRegistry::toCsv() const
 {
     std::string out = "name,kind,field,value\n";
     char line[256];
-    for (const auto &kv : counters) {
+    for (const auto &name : sortedKeys(counters)) {
         std::snprintf(line, sizeof(line), "%s,counter,value,%llu\n",
-                      kv.first.c_str(),
-                      static_cast<unsigned long long>(kv.second.value()));
+                      name.c_str(),
+                      static_cast<unsigned long long>(
+                          counters.at(name).value()));
         out += line;
     }
-    for (const auto &kv : gauges) {
+    for (const auto &name : sortedKeys(gauges)) {
         std::snprintf(line, sizeof(line), "%s,gauge,value,%.6g\n",
-                      kv.first.c_str(), kv.second.value());
+                      name.c_str(), gauges.at(name).value());
         out += line;
     }
-    for (const auto &kv : histograms) {
-        const Histogram &h = *kv.second;
+    for (const auto &name : sortedKeys(histograms)) {
+        const Histogram &h = *histograms.at(name);
         const struct { const char *f; double v; } fields[] = {
             {"count", static_cast<double>(h.count())},
             {"mean", h.mean()},
@@ -101,12 +116,12 @@ StatRegistry::toCsv() const
         };
         for (const auto &f : fields) {
             std::snprintf(line, sizeof(line), "%s,histogram,%s,%.6g\n",
-                          kv.first.c_str(), f.f, f.v);
+                          name.c_str(), f.f, f.v);
             out += line;
         }
     }
-    for (const auto &kv : summaries) {
-        const SummaryStats &s = kv.second;
+    for (const auto &name : sortedKeys(summaries)) {
+        const SummaryStats &s = summaries.at(name);
         const struct { const char *f; double v; } fields[] = {
             {"count", static_cast<double>(s.count())},
             {"mean", s.mean()},
@@ -116,7 +131,7 @@ StatRegistry::toCsv() const
         };
         for (const auto &f : fields) {
             std::snprintf(line, sizeof(line), "%s,summary,%s,%.6g\n",
-                          kv.first.c_str(), f.f, f.v);
+                          name.c_str(), f.f, f.v);
             out += line;
         }
     }
@@ -128,25 +143,25 @@ StatRegistry::toString() const
 {
     std::string out;
     char line[320];
-    for (const auto &kv : counters) {
-        std::snprintf(line, sizeof(line), "%-48s %llu\n",
-                      kv.first.c_str(),
-                      static_cast<unsigned long long>(kv.second.value()));
+    for (const auto &name : sortedKeys(counters)) {
+        std::snprintf(line, sizeof(line), "%-48s %llu\n", name.c_str(),
+                      static_cast<unsigned long long>(
+                          counters.at(name).value()));
         out += line;
     }
-    for (const auto &kv : gauges) {
-        std::snprintf(line, sizeof(line), "%-48s %.6g\n",
-                      kv.first.c_str(), kv.second.value());
+    for (const auto &name : sortedKeys(gauges)) {
+        std::snprintf(line, sizeof(line), "%-48s %.6g\n", name.c_str(),
+                      gauges.at(name).value());
         out += line;
     }
-    for (const auto &kv : histograms) {
-        std::snprintf(line, sizeof(line), "%-48s %s\n", kv.first.c_str(),
-                      kv.second->toString().c_str());
+    for (const auto &name : sortedKeys(histograms)) {
+        std::snprintf(line, sizeof(line), "%-48s %s\n", name.c_str(),
+                      histograms.at(name)->toString().c_str());
         out += line;
     }
-    for (const auto &kv : summaries) {
-        std::snprintf(line, sizeof(line), "%-48s %s\n", kv.first.c_str(),
-                      kv.second.toString().c_str());
+    for (const auto &name : sortedKeys(summaries)) {
+        std::snprintf(line, sizeof(line), "%-48s %s\n", name.c_str(),
+                      summaries.at(name).toString().c_str());
         out += line;
     }
     return out;

@@ -12,9 +12,9 @@
 #define VCP_STATS_REGISTRY_HH
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "stats/histogram.hh"
@@ -47,7 +47,17 @@ class Gauge
     double val = 0.0;
 };
 
-/** Owner of all named statistics for one simulation. */
+/**
+ * Owner of all named statistics for one simulation.
+ *
+ * Registration and resolution go through hash maps (no ordered
+ * string compares on the hot path); dumps sort the names on the way
+ * out, so their order stays deterministic.  The maps are node-based,
+ * so the references handed out stay valid for the registry's
+ * lifetime — components are encouraged to resolve a dotted name
+ * *once* and record through the returned reference (see the
+ * management server's per-op stat cache).
+ */
 class StatRegistry
 {
   public:
@@ -71,6 +81,47 @@ class StatRegistry
     /** Get or create a summary accumulator. */
     SummaryStats &summary(const std::string &name);
 
+    /**
+     * @{ Resolve-once overloads: fill @p slot on first use and reuse
+     * the raw handle on every later call, skipping the name hash.
+     * Because the slot fills lazily, the set of registered names —
+     * and therefore the sorted dump — is identical to what repeated
+     * by-name lookups would have produced.
+     */
+    Counter &
+    counter(Counter *&slot, const std::string &name)
+    {
+        if (!slot)
+            slot = &counter(name);
+        return *slot;
+    }
+
+    Gauge &
+    gauge(Gauge *&slot, const std::string &name)
+    {
+        if (!slot)
+            slot = &gauge(name);
+        return *slot;
+    }
+
+    Histogram &
+    histogram(Histogram *&slot, const std::string &name,
+              double min_value = 1.0, double growth = 1.15)
+    {
+        if (!slot)
+            slot = &histogram(name, min_value, growth);
+        return *slot;
+    }
+
+    SummaryStats &
+    summary(SummaryStats *&slot, const std::string &name)
+    {
+        if (!slot)
+            slot = &summary(name);
+        return *slot;
+    }
+    /** @} */
+
     /** True if any stat with this exact name exists. */
     bool has(const std::string &name) const;
 
@@ -90,10 +141,15 @@ class StatRegistry
     std::string toString() const;
 
   private:
-    std::map<std::string, Counter> counters;
-    std::map<std::string, Gauge> gauges;
-    std::map<std::string, std::unique_ptr<Histogram>> histograms;
-    std::map<std::string, SummaryStats> summaries;
+    /** Sorted keys of @p map (dump-time determinism). */
+    template <typename Map>
+    static std::vector<std::string> sortedKeys(const Map &map);
+
+    std::unordered_map<std::string, Counter> counters;
+    std::unordered_map<std::string, Gauge> gauges;
+    std::unordered_map<std::string, std::unique_ptr<Histogram>>
+        histograms;
+    std::unordered_map<std::string, SummaryStats> summaries;
 };
 
 } // namespace vcp

@@ -15,24 +15,35 @@
 namespace vcp {
 namespace {
 
-std::shared_ptr<Task>
-makeTask(std::int64_t id, TenantId tenant = TenantId(),
-         int priority = 0)
+/**
+ * The scheduler borrows Task pointers (the management server owns the
+ * records in its arena); here a per-test factory keeps them alive.
+ */
+struct TaskFactory
 {
-    OpRequest req;
-    req.type = OpType::PowerOn;
-    req.tenant = tenant;
-    req.priority = priority;
-    return std::make_shared<Task>(TaskId(id), req);
-}
+    Task *
+    make(std::int64_t id, TenantId tenant = TenantId(),
+         int priority = 0)
+    {
+        OpRequest req;
+        req.type = OpType::PowerOn;
+        req.tenant = tenant;
+        req.priority = priority;
+        owned.push_back(std::make_unique<Task>(TaskId(id), req));
+        return owned.back().get();
+    }
+
+    std::vector<std::unique_ptr<Task>> owned;
+};
 
 TEST(SchedulerTest, DispatchesUpToWidth)
 {
     Simulator sim;
+    TaskFactory tf;
     TaskScheduler sched(sim, SchedPolicy::Fifo, 2);
     int running = 0;
     for (int i = 0; i < 5; ++i)
-        sched.enqueue(makeTask(i), [&] { ++running; });
+        sched.enqueue(tf.make(i), [&] { ++running; });
     EXPECT_EQ(running, 2);
     EXPECT_EQ(sched.inFlight(), 2);
     EXPECT_EQ(sched.queueLength(), 3u);
@@ -41,10 +52,11 @@ TEST(SchedulerTest, DispatchesUpToWidth)
 TEST(SchedulerTest, CompletionDispatchesNext)
 {
     Simulator sim;
+    TaskFactory tf;
     TaskScheduler sched(sim, SchedPolicy::Fifo, 1);
     std::vector<int> order;
     for (int i = 0; i < 3; ++i)
-        sched.enqueue(makeTask(i), [&order, i] { order.push_back(i); });
+        sched.enqueue(tf.make(i), [&order, i] { order.push_back(i); });
     EXPECT_EQ(order, (std::vector<int>{0}));
     sched.onTaskDone();
     EXPECT_EQ(order, (std::vector<int>{0, 1}));
@@ -71,17 +83,18 @@ TEST(SchedulerTest, ZeroWidthFatal)
 TEST(SchedulerTest, PriorityOrdersByValueThenFifo)
 {
     Simulator sim;
+    TaskFactory tf;
     TaskScheduler sched(sim, SchedPolicy::Priority, 1);
     std::vector<int> order;
     // Occupy the slot so the rest queue up.
-    sched.enqueue(makeTask(99), [] {});
-    sched.enqueue(makeTask(0, TenantId(), 5),
+    sched.enqueue(tf.make(99), [] {});
+    sched.enqueue(tf.make(0, TenantId(), 5),
                   [&] { order.push_back(0); });
-    sched.enqueue(makeTask(1, TenantId(), 1),
+    sched.enqueue(tf.make(1, TenantId(), 1),
                   [&] { order.push_back(1); });
-    sched.enqueue(makeTask(2, TenantId(), 5),
+    sched.enqueue(tf.make(2, TenantId(), 5),
                   [&] { order.push_back(2); });
-    sched.enqueue(makeTask(3, TenantId(), 0),
+    sched.enqueue(tf.make(3, TenantId(), 0),
                   [&] { order.push_back(3); });
     for (int i = 0; i < 5; ++i)
         sched.onTaskDone();
@@ -91,12 +104,13 @@ TEST(SchedulerTest, PriorityOrdersByValueThenFifo)
 TEST(SchedulerTest, FifoIgnoresPriority)
 {
     Simulator sim;
+    TaskFactory tf;
     TaskScheduler sched(sim, SchedPolicy::Fifo, 1);
     std::vector<int> order;
-    sched.enqueue(makeTask(99), [] {});
-    sched.enqueue(makeTask(0, TenantId(), 9),
+    sched.enqueue(tf.make(99), [] {});
+    sched.enqueue(tf.make(0, TenantId(), 9),
                   [&] { order.push_back(0); });
-    sched.enqueue(makeTask(1, TenantId(), 0),
+    sched.enqueue(tf.make(1, TenantId(), 0),
                   [&] { order.push_back(1); });
     sched.onTaskDone();
     sched.onTaskDone();
@@ -107,15 +121,16 @@ TEST(SchedulerTest, FifoIgnoresPriority)
 TEST(SchedulerTest, FairShareRoundRobinsAcrossTenants)
 {
     Simulator sim;
+    TaskFactory tf;
     TaskScheduler sched(sim, SchedPolicy::FairShare, 1);
     std::vector<std::pair<int, int>> order; // (tenant, seq)
-    sched.enqueue(makeTask(99), [] {});
+    sched.enqueue(tf.make(99), [] {});
     // Tenant 1 floods; tenant 2 submits one.
     for (int i = 0; i < 4; ++i) {
-        sched.enqueue(makeTask(i, TenantId(1)),
+        sched.enqueue(tf.make(i, TenantId(1)),
                       [&order, i] { order.push_back({1, i}); });
     }
-    sched.enqueue(makeTask(50, TenantId(2)),
+    sched.enqueue(tf.make(50, TenantId(2)),
                   [&order] { order.push_back({2, 0}); });
     for (int i = 0; i < 6; ++i)
         sched.onTaskDone();
@@ -140,9 +155,10 @@ TEST(SchedulerTest, FairShareRoundRobinsAcrossTenants)
 TEST(SchedulerTest, QueueWaitsMeasured)
 {
     Simulator sim;
+    TaskFactory tf;
     TaskScheduler sched(sim, SchedPolicy::Fifo, 1);
-    auto t0 = makeTask(0);
-    auto t1 = makeTask(1);
+    Task *t0 = tf.make(0);
+    Task *t1 = tf.make(1);
     sched.enqueue(t0, [] {});
     sched.enqueue(t1, [] {});
     sim.schedule(seconds(4), [&] { sched.onTaskDone(); });
@@ -156,8 +172,9 @@ TEST(SchedulerTest, QueueWaitsMeasured)
 TEST(SchedulerTest, UtilizationReflectsOccupancy)
 {
     Simulator sim;
+    TaskFactory tf;
     TaskScheduler sched(sim, SchedPolicy::Fifo, 2);
-    sched.enqueue(makeTask(0), [] {});
+    sched.enqueue(tf.make(0), [] {});
     // One of two slots busy for 10 s.
     sim.schedule(seconds(10), [&] { sched.onTaskDone(); });
     sim.run();
@@ -167,9 +184,10 @@ TEST(SchedulerTest, UtilizationReflectsOccupancy)
 TEST(SchedulerTest, DispatchCountAccumulates)
 {
     Simulator sim;
+    TaskFactory tf;
     TaskScheduler sched(sim, SchedPolicy::Fifo, 4);
     for (int i = 0; i < 7; ++i)
-        sched.enqueue(makeTask(i), [] {});
+        sched.enqueue(tf.make(i), [] {});
     for (int i = 0; i < 4; ++i)
         sched.onTaskDone();
     EXPECT_EQ(sched.dispatched(), 7u);

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Tests for the generational slot-map arena: handle semantics
+ * (generation-checked reuse, stale-handle panics), slab address
+ * stability under growth, value-scan fallback for slotless ids, and
+ * a randomized inventory churn property test that must replay
+ * identically from the same seed.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "infra/arena.hh"
+#include "infra/ids.hh"
+#include "infra/inventory.hh"
+#include "sim/logging.hh"
+#include "sim/random.hh"
+#include "sim/simulator.hh"
+
+namespace vcp {
+namespace {
+
+using WidgetId = Id<struct WidgetIdTag>;
+
+/** Arena payload that tracks construction and destruction. */
+struct Widget
+{
+    Widget(WidgetId id_, int *dtors_) : id(id_), dtors(dtors_) {}
+    ~Widget() { ++*dtors; }
+
+    WidgetId id;
+    int *dtors;
+    std::int64_t payload = 0;
+};
+
+WidgetId
+makeWidget(SlotArena<Widget, WidgetId> &arena, std::int64_t value,
+           int *dtors)
+{
+    return arena.emplace(value, [&](void *mem, WidgetId id) {
+        new (mem) Widget(id, dtors);
+    });
+}
+
+TEST(SlotArenaTest, EmplaceMintsFullHandle)
+{
+    SlotArena<Widget, WidgetId> arena("widget");
+    int dtors = 0;
+    WidgetId id = makeWidget(arena, 42, &dtors);
+    EXPECT_TRUE(id.valid());
+    EXPECT_TRUE(id.hasSlot());
+    EXPECT_EQ(id.value, 42);
+    // The constructor saw the fully formed handle.
+    EXPECT_EQ(arena.get(id).id.slot, id.slot);
+    EXPECT_EQ(arena.get(id).id.gen, id.gen);
+    EXPECT_EQ(arena.size(), 1u);
+}
+
+TEST(SlotArenaTest, DestroyRecyclesSlotWithNewGeneration)
+{
+    SlotArena<Widget, WidgetId> arena("widget");
+    int dtors = 0;
+    WidgetId first = makeWidget(arena, 1, &dtors);
+    arena.destroy(first);
+    EXPECT_EQ(dtors, 1);
+    EXPECT_EQ(arena.size(), 0u);
+
+    WidgetId second = makeWidget(arena, 2, &dtors);
+    // The slot is recycled, but under an advanced generation, so the
+    // old handle cannot alias the new entity.
+    EXPECT_EQ(second.slot, first.slot);
+    EXPECT_GT(second.gen, first.gen);
+    EXPECT_FALSE(arena.has(first));
+    EXPECT_TRUE(arena.has(second));
+}
+
+TEST(SlotArenaTest, StaleHandlePanicsWithClearMessage)
+{
+    SlotArena<Widget, WidgetId> arena("widget");
+    int dtors = 0;
+    WidgetId id = makeWidget(arena, 7, &dtors);
+    arena.destroy(id);
+    try {
+        arena.get(id);
+        FAIL() << "stale handle lookup did not panic";
+    } catch (const PanicError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("stale widget handle"), std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("id 7"), std::string::npos) << msg;
+    }
+}
+
+TEST(SlotArenaTest, UnknownValuePanics)
+{
+    SlotArena<Widget, WidgetId> arena("widget");
+    EXPECT_THROW(arena.get(WidgetId(99)), PanicError);
+}
+
+TEST(SlotArenaTest, SlotlessIdResolvesThroughScan)
+{
+    SlotArena<Widget, WidgetId> arena("widget");
+    int dtors = 0;
+    WidgetId full = makeWidget(arena, 5, &dtors);
+    arena.get(full).payload = 123;
+    // A bare-value id (no slot hint) compares equal to the minted
+    // handle and resolves to the same entity via the scan path.
+    WidgetId bare(5);
+    EXPECT_FALSE(bare.hasSlot());
+    EXPECT_EQ(bare, full);
+    EXPECT_TRUE(arena.has(bare));
+    EXPECT_EQ(arena.get(bare).payload, 123);
+}
+
+TEST(SlotArenaTest, AddressesStableAcrossGrowth)
+{
+    SlotArena<Widget, WidgetId> arena("widget");
+    int dtors = 0;
+    std::vector<WidgetId> ids;
+    std::vector<Widget *> ptrs;
+    for (std::int64_t i = 0; i < 16; ++i) {
+        ids.push_back(makeWidget(arena, i, &dtors));
+        ptrs.push_back(&arena.get(ids.back()));
+    }
+    // Grow well past several chunk boundaries; the early entities
+    // must not move (chunks are never reallocated).
+    constexpr std::int64_t kGrow =
+        static_cast<std::int64_t>(
+            SlotArena<Widget, WidgetId>::kChunkSize) * 5;
+    for (std::int64_t i = 16; i < kGrow; ++i)
+        makeWidget(arena, i, &dtors);
+    for (std::size_t i = 0; i < ids.size(); ++i)
+        EXPECT_EQ(&arena.get(ids[i]), ptrs[i]);
+}
+
+TEST(SlotArenaTest, IdsEnumeratesLiveSortedByValue)
+{
+    SlotArena<Widget, WidgetId> arena("widget");
+    int dtors = 0;
+    WidgetId a = makeWidget(arena, 30, &dtors);
+    makeWidget(arena, 10, &dtors);
+    makeWidget(arena, 20, &dtors);
+    arena.destroy(a);
+    std::vector<WidgetId> live = arena.ids();
+    ASSERT_EQ(live.size(), 2u);
+    EXPECT_EQ(live[0].value, 10);
+    EXPECT_EQ(live[1].value, 20);
+    // Enumerated ids are full handles, usable for O(1) lookup.
+    EXPECT_TRUE(live[0].hasSlot());
+}
+
+TEST(SlotArenaTest, DestructorRunsForLiveEntities)
+{
+    int dtors = 0;
+    {
+        SlotArena<Widget, WidgetId> arena("widget");
+        for (std::int64_t i = 0; i < 10; ++i)
+            makeWidget(arena, i, &dtors);
+        arena.destroy(WidgetId(3));
+        EXPECT_EQ(dtors, 1);
+    }
+    EXPECT_EQ(dtors, 10);
+}
+
+/**
+ * Property test: drive the inventory through a seeded create/destroy
+ * churn and record a trajectory digest.  The same seed must replay
+ * the identical trajectory (the arena's slot recycling is part of
+ * the deterministic state), and every destroyed VM's handle must
+ * report dead rather than aliasing a recycled slot.
+ */
+std::vector<std::uint64_t>
+churnTrajectory(std::uint64_t seed)
+{
+    Simulator sim;
+    Inventory inv(sim);
+    Rng rng(seed);
+    std::vector<VmId> live;
+    std::vector<VmId> dead;
+    std::vector<std::uint64_t> digest;
+
+    for (int step = 0; step < 2000; ++step) {
+        bool create = live.empty() || rng.bernoulli(0.55);
+        if (create) {
+            VmConfig cfg;
+            cfg.name = "vm-" + std::to_string(step);
+            cfg.vcpus = static_cast<int>(rng.uniformInt(1, 8));
+            live.push_back(inv.createVm(cfg));
+        } else {
+            std::size_t pick = static_cast<std::size_t>(
+                rng.uniformInt(0, static_cast<std::int64_t>(
+                                      live.size()) - 1));
+            VmId victim = live[pick];
+            live[pick] = live.back();
+            live.pop_back();
+            EXPECT_TRUE(inv.destroyVm(victim));
+            dead.push_back(victim);
+        }
+        digest.push_back(inv.numVms());
+    }
+
+    // Live handles resolve; dead handles report dead even though
+    // their slots have likely been recycled by now.
+    for (VmId id : live) {
+        EXPECT_TRUE(inv.hasVm(id));
+        digest.push_back(static_cast<std::uint64_t>(id.value));
+        digest.push_back(id.slot);
+        digest.push_back(id.gen);
+    }
+    for (VmId id : dead)
+        EXPECT_FALSE(inv.hasVm(id));
+    digest.push_back(inv.vmsEverCreated());
+    return digest;
+}
+
+TEST(SlotArenaTest, InventoryChurnReplaysIdentically)
+{
+    std::vector<std::uint64_t> a = churnTrajectory(1234);
+    std::vector<std::uint64_t> b = churnTrajectory(1234);
+    EXPECT_EQ(a, b);
+    std::vector<std::uint64_t> c = churnTrajectory(999);
+    EXPECT_NE(a, c);
+}
+
+} // namespace
+} // namespace vcp
