@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "trace/tracer.hh"
+
 namespace vcp {
 
 std::vector<ResourceUtilization>
@@ -108,6 +110,46 @@ controlPlaneLimited(const std::vector<ResourceUtilization> &u)
             best = &r;
     }
     return best && best->utilization > 0.0 && best->control_plane;
+}
+
+std::vector<PhaseAttribution>
+attributePhases(const SpanTracer &tracer)
+{
+    std::vector<PhaseAttribution> out;
+    const auto &phases = tracer.phaseNames();
+    double sum_us = 0.0;
+    for (std::size_t p = 0; p < phases.size(); ++p)
+        sum_us += tracer.phaseTotalTime(p);
+    for (std::size_t p = 0; p < phases.size(); ++p) {
+        double us = tracer.phaseTotalTime(p);
+        out.push_back({phases[p], us / 1000.0,
+                       sum_us > 0.0 ? us / sum_us : 0.0});
+    }
+    std::sort(out.begin(), out.end(),
+              [](const PhaseAttribution &a, const PhaseAttribution &b) {
+                  if (a.total_ms != b.total_ms)
+                      return a.total_ms > b.total_ms;
+                  return a.phase < b.phase;
+              });
+    return out;
+}
+
+Table
+phaseAttributionTable(const std::vector<PhaseAttribution> &a)
+{
+    Table t({"phase", "total_ms", "fraction"});
+    for (const PhaseAttribution &p : a)
+        t.row().cell(p.phase).cell(p.total_ms, 1).cell(p.fraction, 3);
+    return t;
+}
+
+std::string
+dominantPhase(const SpanTracer &tracer)
+{
+    std::vector<PhaseAttribution> a = attributePhases(tracer);
+    if (a.empty() || a.front().total_ms <= 0.0)
+        return "none";
+    return a.front().phase;
 }
 
 } // namespace vcp

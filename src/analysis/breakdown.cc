@@ -1,5 +1,7 @@
 #include "analysis/breakdown.hh"
 
+#include "trace/tracer.hh"
+
 namespace vcp {
 
 double
@@ -52,6 +54,71 @@ breakdownTable(const OpTrace &trace, const std::vector<OpType> &types)
         for (std::size_t p = 0; p < kNumTaskPhases; ++p)
             t.cell(b.mean_us[p] / 1000.0, 2);
         t.cell(b.total_mean_us / 1000.0, 2);
+    }
+    return t;
+}
+
+namespace {
+
+/** Append one count/mean/p50/p95/p99 row tail (usec in, ms out). */
+void
+percentileCells(Table &t, const LatencyHistogram &h)
+{
+    t.cell(h.count())
+        .cell(h.mean() / 1000.0, 2)
+        .cell(h.p50() / 1000.0, 2)
+        .cell(h.p95() / 1000.0, 2)
+        .cell(h.p99() / 1000.0, 2);
+}
+
+} // namespace
+
+Table
+spanBreakdownTable(const SpanTracer &tracer)
+{
+    Table t({"op", "phase", "count", "mean_ms", "p50_ms", "p95_ms",
+             "p99_ms"});
+    const auto &ops = tracer.opNames();
+    const auto &phases = tracer.phaseNames();
+    for (std::size_t o = 0; o < ops.size(); ++o) {
+        bool any = tracer.opHistogram(o).count() > 0;
+        for (std::size_t p = 0; !any && p < phases.size(); ++p)
+            any = tracer.phaseHistogram(o, p).count() > 0;
+        if (!any)
+            continue;
+        for (std::size_t p = 0; p < phases.size(); ++p) {
+            const LatencyHistogram &h = tracer.phaseHistogram(o, p);
+            if (h.count() == 0)
+                continue;
+            t.row().cell(ops[o]).cell(phases[p]);
+            percentileCells(t, h);
+        }
+        const LatencyHistogram &oh = tracer.opHistogram(o);
+        if (oh.count() > 0) {
+            t.row().cell(ops[o]).cell("total");
+            percentileCells(t, oh);
+        }
+    }
+    return t;
+}
+
+Table
+spanPhasePercentiles(const SpanTracer &tracer, std::size_t op)
+{
+    Table t({"phase", "count", "mean_ms", "p50_ms", "p95_ms",
+             "p99_ms"});
+    const auto &phases = tracer.phaseNames();
+    for (std::size_t p = 0; p < phases.size(); ++p) {
+        const LatencyHistogram &h = tracer.phaseHistogram(op, p);
+        if (h.count() == 0)
+            continue;
+        t.row().cell(phases[p]);
+        percentileCells(t, h);
+    }
+    const LatencyHistogram &oh = tracer.opHistogram(op);
+    if (oh.count() > 0) {
+        t.row().cell("total");
+        percentileCells(t, oh);
     }
     return t;
 }

@@ -42,6 +42,24 @@ PhaseBreakdown computeBreakdown(const OpTrace &trace, OpType type);
 Table breakdownTable(const OpTrace &trace,
                      const std::vector<OpType> &types);
 
+class SpanTracer;
+
+/**
+ * Span-sourced breakdown: exact per-(op, phase) percentiles from the
+ * tracer's aggregation histograms (fed on every span, never dropped
+ * even when the ring wraps).  One row per (op type, phase) with a
+ * sample, plus a "total" row per op type from its end-to-end span
+ * histogram; columns are count, mean, p50, p95, p99 (milliseconds).
+ * Op types with no recorded spans are skipped.
+ */
+Table spanBreakdownTable(const SpanTracer &tracer);
+
+/**
+ * Single-op variant of spanBreakdownTable: the per-phase percentile
+ * rows of op-type index @p op only (same columns, no "op" column).
+ */
+Table spanPhasePercentiles(const SpanTracer &tracer, std::size_t op);
+
 } // namespace vcp
 
 #endif // VCP_ANALYSIS_BREAKDOWN_HH

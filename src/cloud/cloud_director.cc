@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "sim/logging.hh"
+#include "trace/tracer.hh"
 
 namespace vcp {
 
@@ -200,6 +201,9 @@ CloudDirector::provisionOne(const DeployCtxPtr &ctx, int vm_index,
     Placement p = placer.place(q);
     if (!p.ok) {
         stats.counter(placement_fail_stat, "cloud.placement_failures").inc();
+        if (VCP_TRACER_ON(tracer_))
+            tracer_->recordInstant(place_fail_name_, ctx->vapp.value,
+                                   sim.now());
         vmDone(ctx, false);
         return;
     }
@@ -210,6 +214,9 @@ CloudDirector::provisionOne(const DeployCtxPtr &ctx, int vm_index,
         // Lazy reconfiguration: the deploy stalls while the pool
         // replicates a base disk within reach of the chosen host.
         stats.counter(pool_stall_stat, "cloud.deploy_pool_stalls").inc();
+        if (VCP_TRACER_ON(tracer_))
+            tracer_->recordInstant(pool_stall_name_, ctx->vapp.value,
+                                   sim.now());
         pool_mgr.ensureReplica(
             ctx->tmpl, p.host, disk_need,
             [this, ctx, vm_index, attempt, p, fp_vcpus,
@@ -293,6 +300,18 @@ CloudDirector::issueClone(const DeployCtxPtr &ctx, int vm_index,
 }
 
 void
+CloudDirector::attachTracer(SpanTracer *t)
+{
+    tracer_ = t;
+    if (!t)
+        return;
+    deploy_name_ = t->intern("vapp.deploy");
+    undeploy_name_ = t->intern("vapp.undeploy");
+    place_fail_name_ = t->intern("placement-fail");
+    pool_stall_name_ = t->intern("pool-stall");
+}
+
+void
 CloudDirector::vmDone(const DeployCtxPtr &ctx, bool ok)
 {
     if (!ok)
@@ -328,6 +347,10 @@ CloudDirector::finishDeploy(const DeployCtxPtr &ctx)
         tenant(ctx->tenant).noteDeployFailed();
         stats.counter(deploys_fail_stat, "cloud.deploys.failed").inc();
     }
+
+    if (VCP_TRACER_ON(tracer_))
+        tracer_->recordSpan(deploy_name_, va.id.value, va.requested_at,
+                            sim.now() - va.requested_at);
 
     auto cbit = deploy_cbs.find(va.id);
     DeployCallback cb;
@@ -400,6 +423,9 @@ CloudDirector::finishUndeploy(const UndeployCtxPtr &uctx)
     stats.histogram(undeploy_latency_stat,
                     "cloud.undeploy_latency_us", 1000.0, 1.2)
         .add(static_cast<double>(sim.now() - uctx->started));
+    if (VCP_TRACER_ON(tracer_))
+        tracer_->recordSpan(undeploy_name_, v.id.value, uctx->started,
+                            sim.now() - uctx->started);
     if (uctx->cb)
         uctx->cb(v);
 }

@@ -160,6 +160,13 @@ class CloudDirector
         destroy_series = destroyed;
     }
 
+    /**
+     * Attach a span tracer: deploys and undeploys then record
+     * vApp-scoped spans, and placement failures / base-disk pool
+     * stalls record instant markers.  Pass nullptr to detach.
+     */
+    void attachTracer(SpanTracer *t);
+
   private:
     struct DeployCtx;
     using DeployCtxPtr = std::shared_ptr<DeployCtx>;
@@ -221,6 +228,14 @@ class CloudDirector
 
     TimeSeries *provision_series = nullptr;
     TimeSeries *destroy_series = nullptr;
+
+    /** @{ Span tracer and its pre-interned names. */
+    SpanTracer *tracer_ = nullptr;
+    std::uint16_t deploy_name_ = 0;
+    std::uint16_t undeploy_name_ = 0;
+    std::uint16_t place_fail_name_ = 0;
+    std::uint16_t pool_stall_name_ = 0;
+    /** @} */
 
     /** @{ Resolve-once stat handles (filled via StatRegistry's
      *  slot-taking overloads; lazy so the dumped name set matches

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "sim/logging.hh"
+#include "trace/tracer.hh"
 
 namespace vcp {
 
@@ -49,6 +50,22 @@ StorageRebalancer::eligible(const Vm &vm) const
             return false;
     }
     return true;
+}
+
+void
+StorageRebalancer::tracePassDone(SimTime started)
+{
+    SpanTracer *t = srv.tracer();
+    if (!VCP_TRACER_ON(t))
+        return;
+    // Interning is idempotent and passes are rare, so binding lazily
+    // here beats an attach hook every harness would have to call.
+    if (bound_tracer != t) {
+        bound_tracer = t;
+        pass_name = t->intern("rebalance.pass");
+    }
+    t->recordSpan(pass_name, 0, started,
+                  srv.simulator().now() - started);
 }
 
 void
@@ -106,6 +123,7 @@ StorageRebalancer::runOnce(std::function<void(int)> done)
               });
 
     int issued = 0;
+    SimTime pass_started = srv.simulator().now();
     auto pending = std::make_shared<int>(0);
     auto finished = std::make_shared<std::function<void(int)>>(
         std::move(done));
@@ -130,16 +148,19 @@ StorageRebalancer::runOnce(std::function<void(int)> done)
         stats.counter(moves_issued_stat, "rebalance.moves_issued").inc();
         *pending += 1;
         Bytes size = c.size;
-        srv.submit(req, [this, pending, finished, size,
-                         issued](const Task &t) {
+        srv.submit(req, [this, pending, finished, size, issued,
+                         pass_started](const Task &t) {
             if (t.succeeded()) {
                 ++moves_ok;
                 bytes_moved += size;
                 stats.counter(moves_ok_stat,
                               "rebalance.moves_ok").inc();
             }
-            if (--*pending == 0 && *finished)
-                (*finished)(issued);
+            if (--*pending == 0) {
+                tracePassDone(pass_started);
+                if (*finished)
+                    (*finished)(issued);
+            }
         });
         projected_freed += c.size;
     }

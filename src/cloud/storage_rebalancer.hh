@@ -82,6 +82,10 @@ class StorageRebalancer
 
     void scheduleNext();
 
+    /** Record a "rebalance.pass" span for a pass started at
+     *  @p started, once all its relocations have completed. */
+    void tracePassDone(SimTime started);
+
     ManagementServer &srv;
     Inventory &inv;
     StatRegistry &stats;
@@ -97,6 +101,10 @@ class StorageRebalancer
     Counter *moves_issued_stat = nullptr;
     Counter *moves_ok_stat = nullptr;
     /** @} */
+
+    /** Tracer whose "rebalance.pass" name is interned (lazy). */
+    SpanTracer *bound_tracer = nullptr;
+    std::uint16_t pass_name = 0;
 };
 
 } // namespace vcp

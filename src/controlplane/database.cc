@@ -1,6 +1,7 @@
 #include "controlplane/database.hh"
 
 #include "sim/logging.hh"
+#include "trace/tracer.hh"
 
 namespace vcp {
 
@@ -16,6 +17,18 @@ std::size_t
 InventoryDatabase::inventorySize() const
 {
     return inventory.numVms() + inventory.numHosts();
+}
+
+void
+InventoryDatabase::setTracer(SpanTracer *t)
+{
+    tracer = t;
+    if (tracer) {
+        chains_name = tracer->intern("db.active-chains");
+        pool.setTrace(&tracer->ring(), tracer->intern("db.txn"));
+    } else {
+        pool.setTrace(nullptr, 0);
+    }
 }
 
 void
@@ -41,6 +54,9 @@ InventoryDatabase::runTxns(int n, InlineAction done)
     }
     chains[idx].remaining = n;
     chains[idx].done = std::move(done);
+    ++active_chains;
+    if (VCP_TRACER_ON(tracer))
+        tracer->recordCounter(chains_name, sim.now(), active_chains);
     step(idx);
 }
 
@@ -56,6 +72,9 @@ InventoryDatabase::step(std::uint32_t idx)
         }
         InlineAction done = std::move(chains[idx].done);
         free_chains.push_back(idx);
+        --active_chains;
+        if (VCP_TRACER_ON(tracer))
+            tracer->recordCounter(chains_name, sim.now(), active_chains);
         done();
     });
 }

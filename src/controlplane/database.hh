@@ -24,6 +24,8 @@
 
 namespace vcp {
 
+class SpanTracer;
+
 /** Sizing of the database model. */
 struct DatabaseConfig
 {
@@ -60,6 +62,11 @@ class InventoryDatabase
     /** Current inventory size used for cost scaling. */
     std::size_t inventorySize() const;
 
+    /** Attach a span tracer: each committed transaction then records
+     *  a "db.txn" execution span and the in-flight chain count is
+     *  sampled on every change.  Pass nullptr to detach. */
+    void setTracer(SpanTracer *t);
+
   private:
     /** One operation's serialized transaction sequence in flight. */
     struct TxnChain
@@ -80,6 +87,10 @@ class InventoryDatabase
     /** In-flight chains, recycled by index (no per-txn allocation). */
     std::vector<TxnChain> chains;
     std::vector<std::uint32_t> free_chains;
+
+    int active_chains = 0;
+    SpanTracer *tracer = nullptr;
+    std::uint16_t chains_name = 0;
 };
 
 } // namespace vcp

@@ -4,12 +4,21 @@
 #include <memory>
 
 #include "sim/logging.hh"
+#include "trace/tracer.hh"
 
 namespace vcp {
 
 LockManager::LockManager(Simulator &sim_)
     : sim(sim_)
 {}
+
+void
+LockManager::setTracer(SpanTracer *t)
+{
+    tracer = t;
+    if (tracer)
+        wait_name = tracer->intern("lock.wait");
+}
 
 bool
 LockManager::compatible(const Entry &e, LockMode mode)
@@ -94,7 +103,12 @@ void
 LockManager::acquireStep(const std::shared_ptr<AcquireCtx> &ctx)
 {
     if (ctx->next >= ctx->reqs.size()) {
-        wait_stats.add(static_cast<double>(sim.now() - ctx->started));
+        SimDuration waited = sim.now() - ctx->started;
+        wait_stats.add(static_cast<double>(waited));
+        // Only contended acquisitions make a span: uncontended grants
+        // are the overwhelming majority and carry no information.
+        if (waited > 0 && VCP_TRACER_ON(tracer))
+            tracer->recordSpan(wait_name, 0, ctx->started, waited);
         ++grant_count;
         InlineAction done = std::move(ctx->granted);
         done();

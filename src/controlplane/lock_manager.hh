@@ -30,6 +30,8 @@
 
 namespace vcp {
 
+class SpanTracer;
+
 /** Lock compatibility modes. */
 enum class LockMode
 {
@@ -122,6 +124,10 @@ class LockManager
     /** Total acquireAll calls granted so far. */
     std::uint64_t grants() const { return grant_count; }
 
+    /** Attach a span tracer: contended acquisitions (wait > 0) then
+     *  record a "lock.wait" span.  Pass nullptr to detach. */
+    void setTracer(SpanTracer *t);
+
   private:
     struct Waiter
     {
@@ -155,6 +161,8 @@ class LockManager
     std::map<LockKey, Entry> table;
     SummaryStats wait_stats;
     std::uint64_t grant_count = 0;
+    SpanTracer *tracer = nullptr;
+    std::uint16_t wait_name = 0;
 };
 
 } // namespace vcp

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "sim/logging.hh"
+#include "trace/tracer.hh"
 
 namespace vcp {
 
@@ -58,6 +59,7 @@ struct ManagementServer::OpCtx
     InlineAction next;
     SimTime phase_start = 0;
     TaskPhase db_phase = TaskPhase::Db;
+    SimDuration agent_service = 0;
     std::vector<LockRequest> pending_locks;
     HostId data_host;
     DatastoreId data_slot_ds;
@@ -84,6 +86,7 @@ struct ManagementServer::OpCtx
         next.reset();
         phase_start = 0;
         db_phase = TaskPhase::Db;
+        agent_service = 0;
         pending_locks.clear();
         data_host = HostId();
         data_slot_ds = DatastoreId();
@@ -225,6 +228,74 @@ ManagementServer::errorCounter(TaskError e)
     return *c;
 }
 
+void
+ManagementServer::attachTracer(SpanTracer *t)
+{
+    tracer_ = t;
+    sched.setTracer(t);
+    locks.setTracer(t);
+    db.setTracer(t);
+    if (!t) {
+        api.setTrace(nullptr, 0);
+        return;
+    }
+    std::vector<std::string> op_names, phase_names, error_names;
+    op_names.reserve(kNumOpTypes);
+    for (std::size_t i = 0; i < kNumOpTypes; ++i)
+        op_names.push_back(opTypeName(static_cast<OpType>(i)));
+    phase_names.reserve(kNumTaskPhases);
+    for (std::size_t i = 0; i < kNumTaskPhases; ++i)
+        phase_names.push_back(taskPhaseName(static_cast<TaskPhase>(i)));
+    error_names.reserve(kNumTaskErrors);
+    for (std::size_t i = 0; i < kNumTaskErrors; ++i)
+        error_names.push_back(taskErrorName(static_cast<TaskError>(i)));
+    t->setAxes(std::move(op_names), std::move(phase_names),
+               std::move(error_names));
+    sub_agent_wait_ = t->intern("agent-wait");
+    sub_agent_exec_ = t->intern("agent-exec");
+    api.setTrace(&t->ring(), t->intern("api.exec"));
+}
+
+void
+ManagementServer::tracePhase(CtxPtr ctx, TaskPhase phase)
+{
+    if (!VCP_TRACER_ON(tracer_))
+        return;
+    tracer_->recordPhase(static_cast<std::uint8_t>(ctx->task->type()),
+                         static_cast<std::uint8_t>(phase),
+                         ctx->task->id().value, ctx->phase_start,
+                         sim.now() - ctx->phase_start);
+}
+
+void
+ManagementServer::traceAgentSplit(CtxPtr ctx, SimDuration service)
+{
+    if (!VCP_TRACER_ON(tracer_))
+        return;
+    SimTime end = sim.now();
+    SimDuration wait = (end - ctx->phase_start) - service;
+    if (wait < 0)
+        wait = 0;
+    std::int64_t tid = ctx->task->id().value;
+    auto op = static_cast<std::uint8_t>(ctx->task->type());
+    if (wait > 0) {
+        tracer_->ring().push({ctx->phase_start, wait, tid,
+                              sub_agent_wait_, SpanKind::Sub, op, {}});
+    }
+    tracer_->ring().push({end - service, service, tid, sub_agent_exec_,
+                          SpanKind::Sub, op, {}});
+}
+
+void
+ManagementServer::traceOp(const Task &t)
+{
+    if (!VCP_TRACER_ON(tracer_))
+        return;
+    tracer_->recordOp(static_cast<std::uint8_t>(t.type()),
+                      static_cast<std::uint8_t>(t.error()),
+                      t.id().value, t.submittedAt(), t.latency());
+}
+
 TaskId
 ManagementServer::submit(const OpRequest &req, TaskCallback on_done)
 {
@@ -257,6 +328,7 @@ ManagementServer::submit(const OpRequest &req, TaskCallback on_done)
                 failed_stat = &stats.counter("cp.ops.failed");
             failed_stat->inc();
             errorCounter(TaskError::RateLimited).inc();
+            traceOp(t);
             if (task_observer)
                 task_observer(t);
             TaskCallback cb = std::move(ctx->cb);
@@ -274,6 +346,7 @@ ManagementServer::submit(const OpRequest &req, TaskCallback on_done)
     api.submit(costs.sampleApi(req.type), [this, ctx]() {
         ctx->task->addPhaseTime(TaskPhase::Api,
                                 sim.now() - ctx->phase_start);
+        tracePhase(ctx, TaskPhase::Api);
         sched.enqueue(ctx->task, [this, ctx]() {
             ctx->task->markStarted(sim.now());
             if (ctx->task->cancelRequested()) {
@@ -355,6 +428,7 @@ ManagementServer::finish(CtxPtr ctx, TaskError err)
     }
 
     sched.onTaskDone();
+    traceOp(t);
     if (task_observer)
         task_observer(t);
     // The context goes back to the pool before the callback runs: the
@@ -382,6 +456,7 @@ ManagementServer::acquireLocks(CtxPtr ctx,
         ctx->held_locks = std::move(ctx->pending_locks);
         ctx->task->addPhaseTime(TaskPhase::Locks,
                                 sim.now() - ctx->phase_start);
+        tracePhase(ctx, TaskPhase::Locks);
         InlineAction then = std::move(ctx->next);
         then();
     });
@@ -397,6 +472,7 @@ ManagementServer::runDbPhase(CtxPtr ctx, int txns, TaskPhase phase,
     db.runTxns(txns, [this, ctx]() {
         ctx->task->addPhaseTime(ctx->db_phase,
                                 sim.now() - ctx->phase_start);
+        tracePhase(ctx, ctx->db_phase);
         InlineAction then = std::move(ctx->next);
         then();
     });
@@ -409,9 +485,12 @@ ManagementServer::runAgentPhase(CtxPtr ctx, HostId host,
     ctx->next = std::move(then);
     ctx->phase_start = sim.now();
     SimDuration service = costs.sampleHost(ctx->task->type());
+    ctx->agent_service = service;
     hostAgent(host).execute(service, [this, ctx]() {
         ctx->task->addPhaseTime(TaskPhase::HostAgent,
                                 sim.now() - ctx->phase_start);
+        tracePhase(ctx, TaskPhase::HostAgent);
+        traceAgentSplit(ctx, ctx->agent_service);
         InlineAction then = std::move(ctx->next);
         then();
     });
@@ -448,6 +527,7 @@ ManagementServer::dataAgentGranted(CtxPtr ctx)
 {
     ctx->held_agent = &hostAgent(ctx->data_host);
     SimDuration setup = costs.sampleHost(ctx->task->type());
+    ctx->agent_service = setup;
     sim.schedule(setup, [this, ctx]() { dataSetupDone(ctx); });
 }
 
@@ -456,6 +536,8 @@ ManagementServer::dataSetupDone(CtxPtr ctx)
 {
     ctx->task->addPhaseTime(TaskPhase::HostAgent,
                             sim.now() - ctx->phase_start);
+    tracePhase(ctx, TaskPhase::HostAgent);
+    traceAgentSplit(ctx, ctx->agent_service);
     if (ctx->data_bytes <= 0) {
         ctx->held_agent->release();
         ctx->held_agent = nullptr;
@@ -479,6 +561,7 @@ ManagementServer::dataCopyDone(CtxPtr ctx)
 {
     ctx->task->addPhaseTime(TaskPhase::DataCopy,
                             sim.now() - ctx->phase_start);
+    tracePhase(ctx, TaskPhase::DataCopy);
     bytes_moved += ctx->data_bytes;
     if (!bytes_moved_stat)
         bytes_moved_stat = &stats.counter("cp.bytes_moved");

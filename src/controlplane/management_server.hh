@@ -40,6 +40,8 @@
 
 namespace vcp {
 
+class SpanTracer;
+
 /** Sizing and policy of the management server. */
 struct ManagementServerConfig
 {
@@ -154,6 +156,19 @@ class ManagementServer
         task_observer = std::move(observer);
     }
 
+    /**
+     * Attach the op-lifecycle span tracer.  Registers the op/phase/
+     * error axes on @p t, interns the agent sub-span names, and
+     * propagates the tracer to the scheduler, lock manager, database,
+     * and API center.  Pass nullptr to detach.  Recording is further
+     * gated on the tracer's runtime switch; with the switch off every
+     * site costs one predictable branch.
+     */
+    void attachTracer(SpanTracer *t);
+
+    /** The attached tracer, or nullptr. */
+    SpanTracer *tracer() const { return tracer_; }
+
   private:
     struct OpCtx;
 
@@ -216,6 +231,26 @@ class ManagementServer
 
     /** Finish the task, releasing everything the ctx still holds. */
     void finish(CtxPtr ctx, TaskError err);
+    /** @} */
+
+    /**
+     * @{ Span recording.  No-ops (one branch) without an attached and
+     * enabled tracer; see DESIGN.md "Observability".
+     */
+
+    /** Record [ctx->phase_start, now] as a @p phase span. */
+    void tracePhase(CtxPtr ctx, TaskPhase phase);
+
+    /**
+     * Split the HostAgent phase just recorded into agent-wait /
+     * agent-exec sub-spans: @p service is the execution time sampled
+     * at dispatch, so the wait is the remainder — no extra callback
+     * wrapping needed.
+     */
+    void traceAgentSplit(CtxPtr ctx, SimDuration service);
+
+    /** Record the whole-op span of a finished task. */
+    void traceOp(const Task &t);
     /** @} */
 
     /** @{ Context pool. */
@@ -286,6 +321,9 @@ class ManagementServer
     Counter *bg_txns_stat = nullptr;
 
     TaskCallback task_observer;
+    SpanTracer *tracer_ = nullptr;
+    std::uint16_t sub_agent_wait_ = 0;
+    std::uint16_t sub_agent_exec_ = 0;
     std::int64_t next_task_id = 1;
     std::uint64_t submitted_ops = 0;
     std::uint64_t completed_ops = 0;

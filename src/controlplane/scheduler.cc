@@ -1,6 +1,7 @@
 #include "controlplane/scheduler.hh"
 
 #include "sim/logging.hh"
+#include "trace/tracer.hh"
 
 namespace vcp {
 
@@ -111,6 +112,13 @@ TaskScheduler::drain()
         ++dispatch_count;
         wait_stats.add(static_cast<double>(sim.now() - w.enqueued));
         w.task->addPhaseTime(TaskPhase::Queue, sim.now() - w.enqueued);
+        if (VCP_TRACER_ON(tracer)) {
+            tracer->recordPhase(
+                static_cast<std::uint8_t>(w.task->type()),
+                static_cast<std::uint8_t>(TaskPhase::Queue),
+                w.task->id().value, w.enqueued,
+                sim.now() - w.enqueued);
+        }
         w.run();
     }
 }

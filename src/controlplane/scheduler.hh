@@ -26,6 +26,8 @@
 
 namespace vcp {
 
+class SpanTracer;
+
 /** Dispatch-ordering policies. */
 enum class SchedPolicy
 {
@@ -72,6 +74,10 @@ class TaskScheduler
     /** Tasks dispatched so far. */
     std::uint64_t dispatched() const { return dispatch_count; }
 
+    /** Attach a span tracer: dispatch then records each task's
+     *  Queue-phase span.  Pass nullptr to detach. */
+    void setTracer(SpanTracer *t) { tracer = t; }
+
     /**
      * Mean occupancy of the dispatch slots over the lifetime so far
      * (time-weighted running tasks / width).
@@ -116,6 +122,7 @@ class TaskScheduler
     TenantId rr_cursor;
 
     SummaryStats wait_stats;
+    SpanTracer *tracer = nullptr;
 };
 
 } // namespace vcp

@@ -12,7 +12,33 @@
 namespace vcp {
 
 namespace {
+
 std::atomic<bool> quiet_flag{false};
+
+/** Thread-local so each parallel-sweep worker stamps its own sim. */
+thread_local const std::int64_t *log_clock = nullptr;
+
+/** Shared warn/inform emitter: sim-tick prefix + optional tag. */
+void
+emitLine(std::FILE *to, const char *level, const char *component,
+         const std::string &msg)
+{
+    std::string prefix;
+    if (log_clock) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "@%.6fs ",
+                      static_cast<double>(*log_clock) / 1e6);
+        prefix += buf;
+    }
+    if (component) {
+        prefix += '[';
+        prefix += component;
+        prefix += "] ";
+    }
+    std::fprintf(to, "%s: %s%s\n", level, prefix.c_str(),
+                 msg.c_str());
+}
+
 } // namespace
 
 std::string
@@ -69,7 +95,7 @@ warn(const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vformatMessage(fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    emitLine(stderr, "warn", nullptr, msg);
 }
 
 void
@@ -81,7 +107,43 @@ inform(const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vformatMessage(fmt, ap);
     va_end(ap);
-    std::fprintf(stdout, "info: %s\n", msg.c_str());
+    emitLine(stdout, "info", nullptr, msg);
+}
+
+void
+warnTagged(const char *component, const char *fmt, ...)
+{
+    if (quiet_flag.load(std::memory_order_relaxed))
+        return;
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vformatMessage(fmt, ap);
+    va_end(ap);
+    emitLine(stderr, "warn", component, msg);
+}
+
+void
+informTagged(const char *component, const char *fmt, ...)
+{
+    if (quiet_flag.load(std::memory_order_relaxed))
+        return;
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vformatMessage(fmt, ap);
+    va_end(ap);
+    emitLine(stdout, "info", component, msg);
+}
+
+void
+setLogClock(const std::int64_t *now_us)
+{
+    log_clock = now_us;
+}
+
+const std::int64_t *
+logClock()
+{
+    return log_clock;
 }
 
 void

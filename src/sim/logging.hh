@@ -17,6 +17,7 @@
 #define VCP_SIM_LOGGING_HH
 
 #include <cstdarg>
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 
@@ -57,11 +58,33 @@ void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 /** Emit an informational status line. */
 void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
+/** warn() with a component tag: "warn: [scheduler] ...". */
+void warnTagged(const char *component, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+/** inform() with a component tag: "info: [scheduler] ...". */
+void informTagged(const char *component, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
 /** Globally enable/disable warn()/inform() output (default: enabled). */
 void setLogQuiet(bool quiet);
 
 /** @return true when warn()/inform() output is suppressed. */
 bool logQuiet();
+
+/**
+ * Attach a simulated clock to this thread's log output: warnings and
+ * informs are then prefixed with the current sim tick ("@12.345s").
+ * Pass Simulator::nowPtr() after construction (the pointer must
+ * outlive its use) and nullptr to detach.  Thread-local so parallel
+ * sweep workers each stamp with their own simulation's clock; no
+ * prefix when unset, which keeps existing output (and quiet-mode
+ * benchmarks) unchanged.
+ */
+void setLogClock(const std::int64_t *now_us);
+
+/** This thread's attached log clock (nullptr when unset). */
+const std::int64_t *logClock();
 
 } // namespace vcp
 

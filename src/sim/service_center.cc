@@ -104,6 +104,9 @@ ServiceCenter::scheduleCompletion(SimDuration service_time,
         idx = static_cast<std::uint32_t>(in_flight.size());
         in_flight.push_back(std::move(done));
     }
+    if (VCP_TRACE_ON(trace_ring))
+        trace_ring->push({sim.now(), service_time, 0, trace_name,
+                          SpanKind::Span, 0xff, {}});
     sim.schedule(service_time, [this, idx] { completeJob(idx); });
 }
 

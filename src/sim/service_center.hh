@@ -28,6 +28,7 @@
 #include "sim/simulator.hh"
 #include "sim/types.hh"
 #include "sim/summary.hh"
+#include "trace/ring.hh"
 
 namespace vcp {
 
@@ -85,6 +86,20 @@ class ServiceCenter
     /** Distribution of time spent waiting in queue (microseconds). */
     const SummaryStats &waitTimes() const { return wait_stats; }
 
+    /**
+     * Attach a span ring: each submit() job then records one
+     * execution span [dispatch, dispatch + service] under @p name_id
+     * while tracing is enabled.  Both endpoints are known at dispatch
+     * time, so nothing extra is stored per job.  Pass nullptr to
+     * detach.
+     */
+    void
+    setTrace(TraceRing *ring, std::uint16_t name_id)
+    {
+        trace_ring = ring;
+        trace_name = name_id;
+    }
+
   private:
     struct Pending
     {
@@ -135,6 +150,9 @@ class ServiceCenter
     /** Completion actions of executing jobs, recycled by index. */
     std::vector<InlineAction> in_flight;
     std::vector<std::uint32_t> free_flights;
+
+    TraceRing *trace_ring = nullptr;
+    std::uint16_t trace_name = 0;
 };
 
 } // namespace vcp

@@ -37,6 +37,13 @@ class Simulator
     SimTime now() const { return current; }
 
     /**
+     * Stable address of the clock, for log timestamping
+     * (setLogClock): the pointer stays valid for the simulator's
+     * lifetime and always reads the current tick.
+     */
+    const SimTime *nowPtr() const { return &current; }
+
+    /**
      * Schedule a callback @p delay ticks from now.
      * @param delay non-negative delay; 0 runs after currently queued
      *        same-time events.

@@ -1,0 +1,342 @@
+#include "trace/perfetto.hh"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace vcp {
+
+namespace {
+
+/** Minimal JSON string escape (names are short identifiers). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** One op's records, regrouped from the flat ring. */
+struct TaskGroup
+{
+    SimTime start = 0;
+    SimTime end = 0;
+    bool has_op = false;
+    SpanRecord op{};
+    std::vector<SpanRecord> slices; ///< phases + sub-phase details
+};
+
+/** Emitter that owns the output string and the comma state. */
+class Json
+{
+  public:
+    Json() { out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"; }
+
+    void
+    event(const std::string &body)
+    {
+        if (!first)
+            out += ",\n";
+        first = false;
+        out += body;
+    }
+
+    std::string
+    finish()
+    {
+        out += "\n]}\n";
+        return std::move(out);
+    }
+
+  private:
+    std::string out;
+    bool first = true;
+};
+
+std::string
+completeEvent(const std::string &name, const std::string &cat, int tid,
+              SimTime ts, SimDuration dur, const std::string &args)
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
+                  "\"pid\":1,\"tid\":%d,\"ts\":%" PRId64
+                  ",\"dur\":%" PRId64,
+                  jsonEscape(name).c_str(), cat.c_str(), tid,
+                  static_cast<std::int64_t>(ts),
+                  static_cast<std::int64_t>(dur));
+    std::string s = buf;
+    if (!args.empty()) {
+        s += ",\"args\":{";
+        s += args;
+        s += "}";
+    }
+    s += "}";
+    return s;
+}
+
+std::string
+threadName(int tid, const std::string &name)
+{
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                  "\"tid\":%d,\"args\":{\"name\":\"%s\"}}",
+                  tid, jsonEscape(name).c_str());
+    return buf;
+}
+
+/**
+ * Greedy lane assignment: intervals sorted by start; a lane is
+ * reusable when its last interval ended at or before the new start.
+ * Returns per-interval lane indices (0-based) and the lane count.
+ */
+std::size_t
+assignLanes(const std::vector<std::pair<SimTime, SimTime>> &intervals,
+            std::vector<int> &lane_of)
+{
+    lane_of.assign(intervals.size(), 0);
+    std::vector<std::size_t> order(intervals.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  return intervals[a].first < intervals[b].first;
+              });
+    // Min-heap of (lane_end, lane_id).
+    std::priority_queue<std::pair<SimTime, int>,
+                        std::vector<std::pair<SimTime, int>>,
+                        std::greater<>>
+        lanes;
+    int next_lane = 0;
+    for (std::size_t idx : order) {
+        auto [start, end] = intervals[idx];
+        if (!lanes.empty() && lanes.top().first <= start) {
+            auto [_, lane] = lanes.top();
+            lanes.pop();
+            lane_of[idx] = lane;
+            lanes.emplace(end, lane);
+        } else {
+            lane_of[idx] = next_lane;
+            lanes.emplace(end, next_lane);
+            ++next_lane;
+        }
+    }
+    return static_cast<std::size_t>(next_lane);
+}
+
+const char *
+lookupName(const std::vector<std::string> &table, std::size_t idx,
+           const char *fallback)
+{
+    return idx < table.size() ? table[idx].c_str() : fallback;
+}
+
+} // namespace
+
+std::string
+exportPerfettoJson(const SpanTracer &tracer)
+{
+    const std::vector<SpanRecord> records = tracer.ring().snapshot();
+    const auto &op_names = tracer.opNames();
+    const auto &phase_names = tracer.phaseNames();
+    const auto &error_names = tracer.errorNames();
+    const auto &interned = tracer.internedNames();
+
+    Json json;
+    json.event("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+               "\"args\":{\"name\":\"vcpsim\"}}");
+
+    // Regroup op-scoped records by task id (ring order is time order,
+    // so groups keep their internal ordering).
+    std::unordered_map<std::int64_t, TaskGroup> tasks;
+    std::vector<std::int64_t> task_order;
+    std::map<std::uint16_t, std::vector<SpanRecord>> named_spans;
+    std::vector<SpanRecord> instants;
+    std::vector<SpanRecord> counters;
+
+    for (const SpanRecord &r : records) {
+        switch (r.kind) {
+          case SpanKind::Op:
+          case SpanKind::Phase:
+          case SpanKind::Sub: {
+            auto [it, fresh] = tasks.try_emplace(r.scope);
+            TaskGroup &g = it->second;
+            if (fresh) {
+                task_order.push_back(r.scope);
+                g.start = r.start;
+            }
+            g.start = std::min(g.start, r.start);
+            g.end = std::max(g.end, r.start + r.duration);
+            if (r.kind == SpanKind::Op) {
+                g.has_op = true;
+                g.op = r;
+            } else {
+                g.slices.push_back(r);
+            }
+            break;
+          }
+          case SpanKind::Span:
+            named_spans[r.name].push_back(r);
+            break;
+          case SpanKind::Instant:
+            instants.push_back(r);
+            break;
+          case SpanKind::Counter:
+            counters.push_back(r);
+            break;
+        }
+    }
+
+    // Op lanes: tids 1..N.
+    std::vector<std::pair<SimTime, SimTime>> intervals;
+    intervals.reserve(task_order.size());
+    for (std::int64_t id : task_order)
+        intervals.emplace_back(tasks[id].start, tasks[id].end);
+    std::vector<int> lane_of;
+    std::size_t op_lanes = assignLanes(intervals, lane_of);
+    for (std::size_t l = 0; l < op_lanes; ++l) {
+        json.event(threadName(static_cast<int>(l) + 1,
+                              "ops " + std::to_string(l)));
+    }
+    for (std::size_t i = 0; i < task_order.size(); ++i) {
+        const TaskGroup &g = tasks[task_order[i]];
+        int tid = lane_of[i] + 1;
+        char args[96];
+        if (g.has_op) {
+            std::snprintf(args, sizeof(args),
+                          "\"task\":%" PRId64 ",\"error\":\"%s\"",
+                          g.op.scope,
+                          lookupName(error_names, g.op.name, "?"));
+            json.event(completeEvent(
+                lookupName(op_names, g.op.op, "op"), "op", tid,
+                g.op.start, g.op.duration, args));
+        }
+        for (const SpanRecord &s : g.slices) {
+            std::snprintf(args, sizeof(args), "\"task\":%" PRId64,
+                          s.scope);
+            if (s.kind == SpanKind::Phase) {
+                json.event(completeEvent(
+                    lookupName(phase_names, s.name, "phase"), "phase",
+                    tid, s.start, s.duration, args));
+            } else {
+                json.event(completeEvent(
+                    lookupName(interned, s.name, "detail"), "detail",
+                    tid, s.start, s.duration, args));
+            }
+        }
+    }
+
+    // Named span groups: per-name lane blocks after the op lanes.
+    int next_tid = static_cast<int>(op_lanes) + 1;
+    for (const auto &[name_id, spans] : named_spans) {
+        intervals.clear();
+        for (const SpanRecord &s : spans)
+            intervals.emplace_back(s.start, s.start + s.duration);
+        std::size_t lanes = assignLanes(intervals, lane_of);
+        const char *base = lookupName(interned, name_id, "span");
+        for (std::size_t l = 0; l < lanes; ++l) {
+            std::string label = lanes > 1
+                ? std::string(base) + " " + std::to_string(l)
+                : std::string(base);
+            json.event(
+                threadName(next_tid + static_cast<int>(l), label));
+        }
+        for (std::size_t i = 0; i < spans.size(); ++i) {
+            char args[64];
+            std::snprintf(args, sizeof(args), "\"scope\":%" PRId64,
+                          spans[i].scope);
+            json.event(completeEvent(base, "span",
+                                     next_tid + lane_of[i],
+                                     spans[i].start,
+                                     spans[i].duration, args));
+        }
+        next_tid += static_cast<int>(lanes);
+    }
+
+    // Instants share one marker track.
+    if (!instants.empty()) {
+        json.event(threadName(next_tid, "markers"));
+        for (const SpanRecord &r : instants) {
+            char buf[224];
+            std::snprintf(
+                buf, sizeof(buf),
+                "{\"name\":\"%s\",\"cat\":\"marker\",\"ph\":\"i\","
+                "\"s\":\"t\",\"pid\":1,\"tid\":%d,\"ts\":%" PRId64
+                ",\"args\":{\"scope\":%" PRId64 "}}",
+                jsonEscape(lookupName(interned, r.name, "marker"))
+                    .c_str(),
+                next_tid, static_cast<std::int64_t>(r.start), r.scope);
+            json.event(buf);
+        }
+        ++next_tid;
+    }
+
+    // Counter samples become "C" tracks keyed by name.
+    for (const SpanRecord &r : counters) {
+        char buf[224];
+        std::snprintf(
+            buf, sizeof(buf),
+            "{\"name\":\"%s\",\"cat\":\"counter\",\"ph\":\"C\","
+            "\"pid\":1,\"ts\":%" PRId64
+            ",\"args\":{\"value\":%" PRId64 "}}",
+            jsonEscape(lookupName(interned, r.name, "counter")).c_str(),
+            static_cast<std::int64_t>(r.start), r.duration);
+        json.event(buf);
+    }
+
+    return json.finish();
+}
+
+bool
+writePerfettoJson(const SpanTracer &tracer, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out) {
+        warnTagged("trace", "cannot write %s", path.c_str());
+        return false;
+    }
+    out << exportPerfettoJson(tracer);
+    if (tracer.ring().dropped() > 0) {
+        warnTagged("trace",
+                   "ring wrapped; %llu oldest records dropped "
+                   "(raise capacity to keep the full run)",
+                   static_cast<unsigned long long>(
+                       tracer.ring().dropped()));
+    }
+    return true;
+}
+
+} // namespace vcp

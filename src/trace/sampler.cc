@@ -1,0 +1,45 @@
+#include "trace/sampler.hh"
+
+#include "sim/logging.hh"
+
+namespace vcp {
+
+GaugeSampler::GaugeSampler(Simulator &sim_, SpanTracer &tracer_,
+                           SimDuration period_)
+    : sim(sim_), tracer(tracer_), period(period_)
+{
+    if (period <= 0)
+        fatal("GaugeSampler: period must be > 0");
+}
+
+void
+GaugeSampler::addGauge(const std::string &name,
+                       std::function<std::int64_t()> probe)
+{
+    probes.push_back({tracer.intern(name), std::move(probe)});
+}
+
+void
+GaugeSampler::start()
+{
+    if (running)
+        return;
+    running = true;
+    sim.schedule(period, [this] { tick(); });
+}
+
+void
+GaugeSampler::tick()
+{
+    if (!running)
+        return;
+    if (tracer.enabled()) {
+        for (const Probe &p : probes) {
+            tracer.recordCounter(p.name, sim.now(), p.read());
+            ++sample_count;
+        }
+    }
+    sim.schedule(period, [this] { tick(); });
+}
+
+} // namespace vcp

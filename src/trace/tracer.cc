@@ -1,0 +1,89 @@
+#include "trace/tracer.hh"
+
+#include "sim/logging.hh"
+
+namespace vcp {
+
+SpanTracer::SpanTracer(const TracerConfig &cfg)
+    : ring_(cfg.capacity)
+{
+    ring_.setEnabled(cfg.enabled);
+}
+
+void
+SpanTracer::setAxes(std::vector<std::string> op_names,
+                    std::vector<std::string> phase_names,
+                    std::vector<std::string> error_names)
+{
+    if (!ops.empty()) {
+        if (ops == op_names && phases == phase_names &&
+            errors == error_names) {
+            return;
+        }
+        panic("SpanTracer: conflicting axes (one tracer per server)");
+    }
+    if (op_names.empty() || phase_names.empty())
+        panic("SpanTracer: empty axes");
+    if (op_names.size() > 0xfe || phase_names.size() > 0xfe ||
+        error_names.size() > 0xffff)
+        panic("SpanTracer: axes too large for record encoding");
+
+    ops = std::move(op_names);
+    phases = std::move(phase_names);
+    errors = std::move(error_names);
+    num_ops = static_cast<std::uint32_t>(ops.size());
+    num_phases = static_cast<std::uint32_t>(phases.size());
+
+    phase_hist.assign(ops.size() * phases.size(), {});
+    op_hist.assign(ops.size(), {});
+}
+
+std::uint16_t
+SpanTracer::intern(const std::string &name)
+{
+    auto it = intern_ids.find(name);
+    if (it != intern_ids.end())
+        return it->second;
+    if (interned.size() > 0xffff)
+        panic("SpanTracer: interned-name table overflow");
+    std::uint16_t id = static_cast<std::uint16_t>(interned.size());
+    interned.push_back(name);
+    intern_ids.emplace(name, id);
+    return id;
+}
+
+const LatencyHistogram &
+SpanTracer::phaseHistogram(std::size_t op, std::size_t phase) const
+{
+    if (op >= ops.size() || phase >= phases.size())
+        panic("SpanTracer: phaseHistogram(%zu, %zu) out of range", op,
+              phase);
+    return phase_hist[op * phases.size() + phase];
+}
+
+const LatencyHistogram &
+SpanTracer::opHistogram(std::size_t op) const
+{
+    if (op >= op_hist.size())
+        panic("SpanTracer: opHistogram(%zu) out of range", op);
+    return op_hist[op];
+}
+
+double
+SpanTracer::phaseTotalTime(std::size_t phase) const
+{
+    if (phase >= phases.size())
+        panic("SpanTracer: phaseTotalTime(%zu) out of range", phase);
+    double total = 0.0;
+    for (std::size_t op = 0; op < ops.size(); ++op)
+        total += phase_hist[op * phases.size() + phase].sum();
+    return total;
+}
+
+std::uint64_t
+SpanTracer::opCount(std::size_t op) const
+{
+    return opHistogram(op).count();
+}
+
+} // namespace vcp

@@ -1,6 +1,8 @@
 #include "workload/profiles.hh"
 
 #include "sim/logging.hh"
+#include "trace/sampler.hh"
+#include "trace/tracer.hh"
 
 namespace vcp {
 
@@ -99,6 +101,10 @@ CloudSimulation::CloudSimulation(const CloudSetupSpec &spec,
     if (spec_.infra.hosts < 1 || spec_.infra.datastores < 1)
         fatal("CloudSimulation: need at least one host and datastore");
 
+    // Stamp this thread's log lines with this simulation's clock
+    // (thread-local, so sweep workers don't fight over it).
+    setLogClock(sim_.nowPtr());
+
     // Shared-storage cluster: every host sees every datastore.
     for (int d = 0; d < spec_.infra.datastores; ++d) {
         DatastoreConfig dc;
@@ -134,12 +140,50 @@ CloudSimulation::CloudSimulation(const CloudSetupSpec &spec,
         cloud_, spec_.workload, sim_.rng().fork());
 }
 
+CloudSimulation::~CloudSimulation()
+{
+    if (logClock() == sim_.nowPtr())
+        setLogClock(nullptr);
+}
+
 void
 CloudSimulation::run(SimDuration drain)
 {
     SimTime end = sim_.now() + spec_.workload.duration + drain;
     driver_->start();
     sim_.runUntil(end);
+}
+
+void
+CloudSimulation::enableTracing(SpanTracer *tracer)
+{
+    srv_.attachTracer(tracer);
+    cloud_.attachTracer(tracer);
+}
+
+void
+CloudSimulation::addStandardGauges(GaugeSampler &sampler)
+{
+    sampler.addGauge("api.queue", [this] {
+        return static_cast<std::int64_t>(srv_.apiCenter().queueLength());
+    });
+    sampler.addGauge("api.busy", [this] {
+        return static_cast<std::int64_t>(srv_.apiCenter().busyServers());
+    });
+    sampler.addGauge("dispatch.queue", [this] {
+        return static_cast<std::int64_t>(srv_.scheduler().queueLength());
+    });
+    sampler.addGauge("dispatch.running", [this] {
+        return static_cast<std::int64_t>(srv_.scheduler().inFlight());
+    });
+    sampler.addGauge("db.queue", [this] {
+        return static_cast<std::int64_t>(
+            srv_.database().center().queueLength());
+    });
+    sampler.addGauge("db.busy", [this] {
+        return static_cast<std::int64_t>(
+            srv_.database().center().busyServers());
+    });
 }
 
 } // namespace vcp

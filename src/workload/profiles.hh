@@ -28,6 +28,9 @@
 
 namespace vcp {
 
+class GaugeSampler;
+class SpanTracer;
+
 /** Physical-plant sizing. */
 struct InfraSpec
 {
@@ -85,6 +88,9 @@ class CloudSimulation
     explicit CloudSimulation(const CloudSetupSpec &spec,
                              std::uint64_t seed = 1);
 
+    /** Detaches the log clock if it still points at this sim. */
+    ~CloudSimulation();
+
     /**
      * Start the workload and run until the workload window closes
      * plus @p drain (letting in-flight operations finish).
@@ -108,6 +114,20 @@ class CloudSimulation
     WorkloadDriver &driver() { return *driver_; }
     const CloudSetupSpec &spec() const { return spec_; }
     /** @} */
+
+    /**
+     * Attach @p tracer across the whole stack: the management server
+     * (which fans out to scheduler, lock manager, database, and API
+     * center) and the cloud director.  Pass nullptr to detach.
+     */
+    void enableTracing(SpanTracer *tracer);
+
+    /**
+     * Register the standard control-plane load gauges (API queue and
+     * busy threads, dispatch queue and running tasks, DB queue and
+     * busy connections) on a caller-owned sampler.
+     */
+    void addStandardGauges(GaugeSampler &sampler);
 
     /** Tenant/template ids in spec order. */
     const std::vector<TenantId> &tenantIds() const { return tenant_ids; }

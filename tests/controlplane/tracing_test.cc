@@ -1,0 +1,195 @@
+/**
+ * @file
+ * End-to-end tracing tests through the management server: every
+ * pipeline phase of a real op shows up as span records and exact
+ * histogram samples, phase spans reconcile with the task's own
+ * phase accounting, and an absent/disabled tracer changes nothing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "controlplane/task.hh"
+#include "trace/tracer.hh"
+
+#include "cp_fixture.hh"
+
+namespace vcp {
+namespace {
+
+class TracingTest : public ControlPlaneFixture
+{
+  protected:
+    OpRequest
+    cloneFullReq() const
+    {
+        OpRequest req;
+        req.type = OpType::CloneFull;
+        req.vm = tmpl;
+        req.host = h0;
+        req.datastore = ds0;
+        req.name = "copy";
+        return req;
+    }
+};
+
+TEST_F(TracingTest, AttachRegistersFullAxes)
+{
+    SpanTracer tracer;
+    srv->attachTracer(&tracer);
+    EXPECT_EQ(srv->tracer(), &tracer);
+    EXPECT_EQ(tracer.opNames().size(), kNumOpTypes);
+    EXPECT_EQ(tracer.phaseNames().size(), kNumTaskPhases);
+    EXPECT_EQ(tracer.errorNames().size(), kNumTaskErrors);
+    EXPECT_EQ(tracer.opNames()[static_cast<std::size_t>(
+                  OpType::CloneFull)],
+              opTypeName(OpType::CloneFull));
+    EXPECT_EQ(tracer.phaseNames()[static_cast<std::size_t>(
+                  TaskPhase::DataCopy)],
+              taskPhaseName(TaskPhase::DataCopy));
+}
+
+TEST_F(TracingTest, CloneFullRecordsAllSevenPhases)
+{
+    SpanTracer tracer;
+    srv->attachTracer(&tracer);
+    Task t = runOp(cloneFullReq());
+    ASSERT_TRUE(t.succeeded());
+
+    std::size_t op = static_cast<std::size_t>(OpType::CloneFull);
+    for (std::size_t p = 0; p < kNumTaskPhases; ++p) {
+        EXPECT_GE(tracer.phaseHistogram(op, p).count(), 1u)
+            << "no span for phase "
+            << taskPhaseName(static_cast<TaskPhase>(p));
+    }
+    EXPECT_EQ(tracer.opCount(op), 1u);
+    EXPECT_NEAR(tracer.opHistogram(op).mean(),
+                static_cast<double>(t.latency()), 1.0);
+}
+
+TEST_F(TracingTest, PhaseSpansReconcileWithTaskPhaseTimes)
+{
+    SpanTracer tracer;
+    srv->attachTracer(&tracer);
+    Task t = runOp(cloneFullReq());
+    ASSERT_TRUE(t.succeeded());
+
+    // Each phase's span total must equal the task's own accounting
+    // (single op, so histogram total == that op's phase time).
+    std::size_t op = static_cast<std::size_t>(OpType::CloneFull);
+    for (std::size_t p = 0; p < kNumTaskPhases; ++p) {
+        const LatencyHistogram &h = tracer.phaseHistogram(op, p);
+        double spans_us = h.mean() * static_cast<double>(h.count());
+        double task_us = static_cast<double>(
+            t.phaseTime(static_cast<TaskPhase>(p)));
+        EXPECT_NEAR(spans_us, task_us, 1.0)
+            << "phase " << taskPhaseName(static_cast<TaskPhase>(p));
+    }
+}
+
+TEST_F(TracingTest, RingHoldsOpAndPhaseRecordsForTask)
+{
+    SpanTracer tracer;
+    srv->attachTracer(&tracer);
+    Task t = runOp(cloneFullReq());
+    ASSERT_TRUE(t.succeeded());
+
+    std::size_t ops = 0, phases = 0, subs = 0;
+    for (const SpanRecord &r : tracer.ring().snapshot()) {
+        if (r.scope != t.id().value)
+            continue;
+        switch (r.kind) {
+          case SpanKind::Op:
+            ++ops;
+            EXPECT_EQ(r.start, t.submittedAt());
+            EXPECT_EQ(r.duration, t.latency());
+            break;
+          case SpanKind::Phase:
+            ++phases;
+            break;
+          case SpanKind::Sub:
+            ++subs;
+            break;
+          default:
+            break;
+        }
+    }
+    EXPECT_EQ(ops, 1u);
+    EXPECT_GE(phases, kNumTaskPhases);
+    // agent-exec sub-span under the host-agent phase (agent-wait
+    // only appears when the agent slot was contended).
+    EXPECT_GE(subs, 1u);
+}
+
+TEST_F(TracingTest, FailedOpRecordsErrorAxis)
+{
+    SpanTracer tracer;
+    srv->attachTracer(&tracer);
+
+    OpRequest req;
+    req.type = OpType::PowerOn;
+    req.vm = VmId{}; // no such entity
+    Task t = runOp(req);
+    EXPECT_EQ(t.error(), TaskError::NoSuchEntity);
+
+    std::size_t op = static_cast<std::size_t>(OpType::PowerOn);
+    EXPECT_EQ(tracer.opCount(op), 1u);
+
+    bool found = false;
+    for (const SpanRecord &r : tracer.ring().snapshot()) {
+        if (r.kind == SpanKind::Op && r.scope == t.id().value) {
+            found = true;
+            EXPECT_EQ(r.name,
+                      static_cast<std::uint16_t>(t.error()));
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST_F(TracingTest, DisabledTracerRecordsNothing)
+{
+    TracerConfig cfg;
+    cfg.enabled = false;
+    SpanTracer tracer(cfg);
+    srv->attachTracer(&tracer);
+    Task t = runOp(cloneFullReq());
+    ASSERT_TRUE(t.succeeded());
+
+    EXPECT_EQ(tracer.ring().totalRecorded(), 0u);
+    std::size_t op = static_cast<std::size_t>(OpType::CloneFull);
+    EXPECT_EQ(tracer.opCount(op), 0u);
+}
+
+TEST_F(TracingTest, DetachStopsRecording)
+{
+    SpanTracer tracer;
+    srv->attachTracer(&tracer);
+    srv->attachTracer(nullptr);
+    EXPECT_EQ(srv->tracer(), nullptr);
+    Task t = runOp(cloneFullReq());
+    ASSERT_TRUE(t.succeeded());
+    EXPECT_EQ(tracer.ring().totalRecorded(), 0u);
+}
+
+TEST_F(TracingTest, TracingDoesNotPerturbTheSimulation)
+{
+    // Identical seed and op sequence with and without a tracer must
+    // produce identical task latencies and event counts: recording
+    // reads the clock but never schedules, allocates RNG draws, or
+    // otherwise back-reacts on the simulation.
+    Task plain = runOp(cloneFullReq());
+    std::uint64_t plain_events = sim->eventsProcessed();
+    SimTime plain_end = sim->now();
+
+    build({});
+    SpanTracer tracer;
+    srv->attachTracer(&tracer);
+    Task traced = runOp(cloneFullReq());
+    EXPECT_GT(tracer.ring().totalRecorded(), 0u);
+
+    EXPECT_EQ(traced.latency(), plain.latency());
+    EXPECT_EQ(sim->eventsProcessed(), plain_events);
+    EXPECT_EQ(sim->now(), plain_end);
+}
+
+} // namespace
+} // namespace vcp

@@ -127,6 +127,74 @@ TEST(HistogramTest, InvalidConstructionPanics)
     EXPECT_THROW(Histogram(1.0, 1.15, 1), PanicError);
 }
 
+TEST(HistogramTest, PercentileHelpersOnEmptyAreAllZero)
+{
+    Histogram h;
+    EXPECT_DOUBLE_EQ(h.p50(), 0.0);
+    EXPECT_DOUBLE_EQ(h.p90(), 0.0);
+    EXPECT_DOUBLE_EQ(h.p95(), 0.0);
+    EXPECT_DOUBLE_EQ(h.p99(), 0.0);
+    // Degenerate q values are equally harmless when empty.
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.0);
+}
+
+TEST(HistogramTest, SingleSamplePercentilesAllCollapse)
+{
+    Histogram h;
+    h.add(1234.5);
+    // With one sample every percentile is that sample.
+    EXPECT_DOUBLE_EQ(h.p50(), 1234.5);
+    EXPECT_DOUBLE_EQ(h.p90(), 1234.5);
+    EXPECT_DOUBLE_EQ(h.p95(), 1234.5);
+    EXPECT_DOUBLE_EQ(h.p99(), 1234.5);
+}
+
+TEST(HistogramTest, HeavyTailSeparatesTailPercentilesFromMedian)
+{
+    // 950 fast ops at ~1 ms, 50 stragglers at ~100 s: the shape of a
+    // control-plane latency column with a full-clone tail.  The
+    // median must ignore the tail and p99 must land in it.
+    Histogram h;
+    for (int i = 0; i < 950; ++i)
+        h.add(1000.0 + i); // ~1 ms, spread over a few buckets
+    for (int i = 0; i < 50; ++i)
+        h.add(1e8 + i * 1e6); // ~100 s stragglers
+
+    double p50 = h.p50();
+    double p99 = h.p99();
+    EXPECT_GT(p50, 500.0);
+    EXPECT_LT(p50, 5000.0);
+    EXPECT_GE(p99, 9e7);
+    EXPECT_LE(p99, h.max());
+    // The tail dominates the mean but not the median.
+    EXPECT_GT(h.mean(), p50 * 100);
+    // Monotone through the tail: p50 <= p95 <= p99.
+    EXPECT_LE(p50, h.p95());
+    EXPECT_LE(h.p95(), p99);
+}
+
+TEST(HistogramTest, HeavyTailParetoPercentilesTrackAnalytic)
+{
+    // Pareto(alpha=1.5): infinite variance, the classic heavy tail.
+    // Quantiles must still come out near the analytic values.
+    Rng rng(7);
+    double alpha = 1.5, xm = 10.0;
+    Histogram h(1.0, 1.1, 256);
+    for (int i = 0; i < 200000; ++i) {
+        double u = rng.uniform(0.0, 1.0);
+        if (u >= 1.0)
+            continue;
+        h.add(xm / std::pow(1.0 - u, 1.0 / alpha));
+    }
+    auto analytic = [&](double q) {
+        return xm / std::pow(1.0 - q, 1.0 / alpha);
+    };
+    EXPECT_NEAR(h.p50(), analytic(0.50), analytic(0.50) * 0.12);
+    EXPECT_NEAR(h.p95(), analytic(0.95), analytic(0.95) * 0.12);
+    EXPECT_NEAR(h.p99(), analytic(0.99), analytic(0.99) * 0.15);
+}
+
 /**
  * Property: for a large exponential sample the histogram's quantile
  * estimate is within the bucket relative error of the analytic

@@ -22,15 +22,20 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "analysis/bottleneck.hh"
+#include "analysis/breakdown.hh"
 #include "analysis/report.hh"
 #include "cloud/ha_manager.hh"
 #include "sim/logging.hh"
 #include "sim/parallel_sweep.hh"
 #include "stats/table.hh"
+#include "trace/perfetto.hh"
+#include "trace/sampler.hh"
+#include "trace/tracer.hh"
 #include "workload/failures.hh"
 #include "workload/profiles.hh"
 
@@ -55,6 +60,11 @@ usage()
         "CSV\n"
         "  --dump-actions F   write the generator action trace CSV\n"
         "  --stats FILE       write the statistics registry CSV\n"
+        "  --trace-out FILE   record op-lifecycle spans and write a\n"
+        "                     Chrome/Perfetto trace_event JSON file\n"
+        "                     (--trace-out=FILE also accepted)\n"
+        "  --trace-capacity N span ring capacity in records "
+        "(default 1M)\n"
         "  --quiet            suppress warnings/info\n"
         "\n"
         "usage: vcpsim sweep <cloud-a|cloud-b> [options]\n"
@@ -239,7 +249,8 @@ main(int argc, char **argv)
 
     std::uint64_t seed = 1;
     double mtbf_hours = 0.0;
-    std::string dump_ops, dump_actions, dump_stats;
+    std::string dump_ops, dump_actions, dump_stats, trace_out;
+    std::size_t trace_capacity = 1u << 20;
     spec.workload.record_ops = true;
 
     for (int i = 2; i < argc; ++i) {
@@ -281,6 +292,13 @@ main(int argc, char **argv)
             dump_actions = next();
         } else if (arg == "--stats") {
             dump_stats = next();
+        } else if (arg == "--trace-out") {
+            trace_out = next();
+        } else if (arg.rfind("--trace-out=", 0) == 0) {
+            trace_out = arg.substr(std::strlen("--trace-out="));
+        } else if (arg == "--trace-capacity") {
+            trace_capacity =
+                static_cast<std::size_t>(std::atoll(next()));
         } else if (arg == "--quiet") {
             setLogQuiet(true);
         } else {
@@ -295,6 +313,18 @@ main(int argc, char **argv)
                 spec.director.use_linked_clones ? "yes" : "no");
 
     CloudSimulation cs(spec, seed);
+
+    std::unique_ptr<SpanTracer> tracer;
+    std::unique_ptr<GaugeSampler> sampler;
+    if (!trace_out.empty()) {
+        TracerConfig tc;
+        tc.capacity = trace_capacity;
+        tracer = std::make_unique<SpanTracer>(tc);
+        cs.enableTracing(tracer.get());
+        sampler = std::make_unique<GaugeSampler>(cs.sim(), *tracer);
+        cs.addStandardGauges(*sampler);
+        sampler->start();
+    }
 
     HaManager ha(cs.server());
     FailureConfig fcfg;
@@ -342,6 +372,22 @@ main(int argc, char **argv)
                 controlPlaneLimited(utils) ? "control" : "data");
 
     bool ok = true;
+    if (tracer) {
+        std::printf("\nphase attribution (span-sourced), dominant: "
+                    "%s\n%s",
+                    dominantPhase(*tracer).c_str(),
+                    phaseAttributionTable(attributePhases(*tracer))
+                        .toText()
+                        .c_str());
+        std::printf("\nper-phase latency percentiles "
+                    "(span-sourced):\n%s",
+                    spanBreakdownTable(*tracer).toText().c_str());
+        ok &= writePerfettoJson(*tracer, trace_out);
+        std::printf("\ntrace: %llu records (%llu dropped) -> %s\n",
+                    (unsigned long long)tracer->ring().totalRecorded(),
+                    (unsigned long long)tracer->ring().dropped(),
+                    trace_out.c_str());
+    }
     if (!dump_ops.empty())
         ok &= writeFile(dump_ops, cs.driver().ops().toCsv());
     if (!dump_actions.empty())
