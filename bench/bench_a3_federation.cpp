@@ -24,14 +24,24 @@ struct FedPoint
     double throughput_per_h = 0.0;
 };
 
+/**
+ * Run one federation point.  With @p exec_shards > 1 the share-
+ * nothing stacks are bound to a ShardedSimulator and executed by
+ * real threads (Threaded mode) — the intra-run parallel path whose
+ * results the federation identity tests pin to the merge oracle.
+ */
 FedPoint
-run(int shards, int burst, std::uint64_t seed)
+run(int shards, int burst, int exec_shards, std::uint64_t seed)
 {
     using namespace vcp;
     const int total_hosts = 32;
     const int total_ds = 8;
 
-    Simulator sim(seed);
+    ShardedSimulator::Options eo;
+    eo.mode = exec_shards > 1 ? ShardExecMode::Threaded
+                              : ShardExecMode::Merge;
+    ShardedSimulator eng(exec_shards < 1 ? 1 : exec_shards, seed,
+                         eo);
     StatRegistry stats;
     FederationConfig cfg;
     cfg.shards = shards;
@@ -44,26 +54,49 @@ run(int shards, int burst, std::uint64_t seed)
     cfg.datastore.copy_bandwidth = 200.0 * 1024 * 1024;
     cfg.server.dispatch_width = 16;
     cfg.director.pool.max_clones_per_base = 100000;
+    if (exec_shards > 1)
+        cfg.engine = &eng;
 
-    CloudFederation fed(sim, stats, cfg);
+    CloudFederation fed(eng.shard(0), stats, cfg);
     std::size_t tenant = fed.addTenant({"org", 0});
     std::size_t tmpl = fed.createTemplate("tmpl", gib(8), 0.5, 1,
                                           gib(1), 1, hours(24));
 
-    int pending = burst;
-    SimTime done = 0;
+    // Completion bookkeeping is indexed by *execution* shard so each
+    // worker thread touches only its own slot (a shared counter
+    // would race under Threaded mode).  The whole burst is routed up
+    // front — routing reads every shard's inventory and must not run
+    // mid-flight.
+    struct ExecSlot
+    {
+        int completed = 0;
+        SimTime done = 0;
+    };
+    std::vector<ExecSlot> slots(
+        static_cast<std::size_t>(eng.numShards()));
     for (int i = 0; i < burst; ++i) {
         int s = fed.deploy(tenant, tmpl, [&](const VApp &va) {
             if (va.state != VAppState::Deployed)
                 fatal("bench_a3: deploy failed");
-            if (--pending == 0)
-                done = sim.now();
+            ShardId es = ShardedSimulator::currentShard();
+            std::size_t idx =
+                es == ShardedSimulator::kNoShard ? 0 : es;
+            slots[idx].completed += 1;
+            slots[idx].done =
+                eng.shard(static_cast<ShardId>(idx)).now();
         });
         if (s < 0)
             fatal("bench_a3: routing failed");
     }
-    sim.runUntil(hours(12));
-    if (pending != 0)
+    eng.runUntil(hours(12));
+
+    int completed = 0;
+    SimTime done = 0;
+    for (const ExecSlot &s : slots) {
+        completed += s.completed;
+        done = std::max(done, s.done);
+    }
+    if (completed != burst)
         fatal("bench_a3: burst incomplete");
 
     FedPoint p;
@@ -85,12 +118,17 @@ main(int argc, char **argv)
         : std::atoi(opts.positional[0].c_str());
     banner("A3", "control-plane scale-out (burst of " +
                      std::to_string(burst) +
-                     " deploys, fixed hardware)");
+                     " deploys, fixed hardware" +
+                     (opts.shards > 1
+                          ? ", " + std::to_string(opts.shards) +
+                                " execution shards (threaded)"
+                          : "") +
+                     ")");
 
     const std::vector<int> shard_counts = {1, 2, 4, 8};
     std::vector<FedPoint> results(shard_counts.size());
     makeSweepRunner(opts).run(results.size(), [&](std::size_t i) {
-        results[i] = run(shard_counts[i], burst,
+        results[i] = run(shard_counts[i], burst, opts.shards,
                          ParallelSweepRunner::forkSeed(111, i));
     });
 

@@ -24,17 +24,18 @@ namespace {
  * run stays fast while the measurement run amortizes setup.
  */
 std::uint64_t
-runSlice(int minutes_)
+runSlice(int minutes_, int shards = 1)
 {
     CloudSetupSpec spec = sweepCloud(/*linked=*/true);
     spec.workload.duration = minutes(minutes_);
     spec.workload.arrival.rate_per_hour = 7680.0;
     spec.server.dispatch_width = 16;
+    spec.exec.shards = shards;
     CloudSimulation cs(spec, /*seed=*/31);
     cs.start();
     cs.runFor(minutes(minutes_));
     cs.runFor(minutes(30)); // drain in-flight operations
-    return cs.sim().eventsProcessed();
+    return cs.eventsProcessed();
 }
 
 void
@@ -49,6 +50,27 @@ BM_E2eModelF3Slice(benchmark::State &state)
     state.SetItemsProcessed(static_cast<std::int64_t>(events));
 }
 BENCHMARK(BM_E2eModelF3Slice)->Arg(1)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_E2eModelF3SliceSharded(benchmark::State &state)
+{
+    // The same slice under the sharded engine's deterministic merge:
+    // output is byte-identical to BM_E2eModelF3Slice, so the ratio of
+    // the two rates is the pure cost (or win) of K-way event-set
+    // partitioning at the model layer.
+    const int window_min = static_cast<int>(state.range(0));
+    const int shards = static_cast<int>(state.range(1));
+    std::uint64_t events = 0;
+    for (auto _ : state)
+        events += runSlice(window_min, shards);
+    state.counters["events_per_sec"] = benchmark::Counter(
+        static_cast<double>(events), benchmark::Counter::kIsRate);
+    state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_E2eModelF3SliceSharded)
+    ->Args({8, 2})
+    ->Args({8, 8})
     ->Unit(benchmark::kMillisecond);
 
 } // namespace

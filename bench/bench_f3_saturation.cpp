@@ -38,13 +38,15 @@ struct F3Result
 };
 
 F3Result
-runPoint(const F3Point &pt, double window_h, std::uint64_t seed)
+runPoint(const F3Point &pt, double window_h, int shards,
+         std::uint64_t seed)
 {
     using namespace vcp;
     CloudSetupSpec spec = sweepCloud(pt.linked);
     spec.workload.duration = hours(window_h);
     spec.workload.arrival.rate_per_hour = pt.rate;
     spec.server.dispatch_width = 16;
+    spec.exec.shards = shards; // merge mode: rows are identical
     CloudSimulation cs(spec, seed);
     cs.start();
     cs.runFor(hours(window_h));
@@ -95,7 +97,7 @@ main(int argc, char **argv)
     // index), so parallel and serial sweeps produce identical rows.
     std::vector<F3Result> results(points.size());
     makeSweepRunner(opts).run(points.size(), [&](std::size_t i) {
-        results[i] = runPoint(points[i], window_h,
+        results[i] = runPoint(points[i], window_h, opts.shards,
                               ParallelSweepRunner::forkSeed(31, i));
     });
 

@@ -27,11 +27,12 @@ struct ScalePoint
 
 /** Mean clone latency with the inventory pre-populated. */
 ScalePoint
-opLatency(vcp::DbScaling scaling, int standing_vms,
+opLatency(vcp::DbScaling scaling, int standing_vms, int shards,
           std::uint64_t seed)
 {
     using namespace vcp;
     CloudSetupSpec spec = sweepCloud(true);
+    spec.exec.shards = shards; // merge mode: rows are identical
     spec.server.costs.db_scaling = scaling;
     spec.server.costs.db_scale_coeff =
         (scaling == DbScaling::Linear) ? 0.2 : 1.0;
@@ -101,7 +102,7 @@ main(int argc, char **argv)
     std::vector<ScalePoint> results(sizes.size() * laws.size());
     makeSweepRunner(opts).run(results.size(), [&](std::size_t i) {
         results[i] = opLatency(laws[i % laws.size()],
-                               sizes[i / laws.size()],
+                               sizes[i / laws.size()], opts.shards,
                                ParallelSweepRunner::forkSeed(71, i));
     });
 

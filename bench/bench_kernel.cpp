@@ -12,6 +12,7 @@
 #include "controlplane/lock_manager.hh"
 #include "infra/bandwidth.hh"
 #include "sim/service_center.hh"
+#include "sim/sharded_simulator.hh"
 #include "sim/simulator.hh"
 #include "stats/histogram.hh"
 
@@ -177,6 +178,74 @@ BM_HistogramAddQuantile(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_HistogramAddQuantile);
+
+/** Per-shard self-perpetuating load for the sharded-kernel bench:
+ *  a chain of local events that posts to the next shard every 64th
+ *  step (cross traffic honours the engine lookahead). */
+struct ShardPump
+{
+    ShardedSimulator *eng = nullptr;
+    ShardId id = 0;
+    int remaining = 0;
+    std::uint64_t acc = 0;
+
+    void step()
+    {
+        Simulator &sim = eng->shard(id);
+        if (--remaining <= 0)
+            return;
+        acc += static_cast<std::uint64_t>(sim.now());
+        if ((remaining & 63) == 0) {
+            ShardId dst = static_cast<ShardId>(
+                (id + 1) % static_cast<ShardId>(eng->numShards()));
+            if (dst != id)
+                eng->post(id, dst, sim.now() + 100, 0, [] {});
+        }
+        ShardPump *self = this;
+        sim.schedule(10, [self] { self->step(); });
+    }
+};
+
+void
+BM_ShardedKernelPump(benchmark::State &state)
+{
+    // args: {shards, threaded}.  Merge rows measure the engine's
+    // determinism-preserving overhead vs BM_EventScheduleRun;
+    // threaded rows measure real-thread conservative execution
+    // (speedup needs cores — on a single-CPU host they document the
+    // round-protocol cost instead).
+    const int shards = static_cast<int>(state.range(0));
+    const bool threaded = state.range(1) != 0;
+    const int per_shard = 20000;
+    for (auto _ : state) {
+        ShardedSimulator::Options o;
+        o.mode = threaded ? ShardExecMode::Threaded
+                          : ShardExecMode::Merge;
+        o.lookahead = 100;
+        o.collect_windows = false;
+        ShardedSimulator eng(shards, 1, o);
+        std::vector<ShardPump> pumps(
+            static_cast<std::size_t>(shards));
+        for (int s = 0; s < shards; ++s) {
+            pumps[static_cast<std::size_t>(s)] = {
+                &eng, static_cast<ShardId>(s), per_shard, 0};
+            ShardPump *p = &pumps[static_cast<std::size_t>(s)];
+            eng.shard(static_cast<ShardId>(s))
+                .schedule(10, [p] { p->step(); });
+        }
+        eng.run();
+        benchmark::DoNotOptimize(eng.eventsProcessed());
+    }
+    state.SetItemsProcessed(state.iterations() * per_shard *
+                            shards);
+}
+BENCHMARK(BM_ShardedKernelPump)
+    ->Args({1, 0})
+    ->Args({4, 0})
+    ->Args({8, 0})
+    ->Args({2, 1})
+    ->Args({4, 1})
+    ->Args({8, 1});
 
 void
 BM_SharedBandwidthChurn(benchmark::State &state)

@@ -50,15 +50,37 @@ struct SweepOptions
     int jobs = 0;
     /** Force single-threaded execution (same as --jobs 1). */
     bool serial = false;
+    /**
+     * Intra-run event-set shards per simulation point (the
+     * sim/sharded_simulator.hh engine).  Orthogonal to --jobs, which
+     * spreads whole points over threads; CloudSimulation points run
+     * the shards in deterministic-merge mode on the point's own
+     * worker, so results stay bit-identical for any value.
+     */
+    int shards = 1;
     /** When non-empty, also write the result table as CSV here. */
     std::string csv;
     /** Non-flag arguments, in order. */
     std::vector<std::string> positional;
 };
 
+/** Strict positive-integer option parsing (std::atoi would silently
+ *  turn garbage into 0). */
+inline int
+parsePositiveOption(const std::string &flag, const char *value)
+{
+    char *end = nullptr;
+    long v = std::strtol(value, &end, 10);
+    if (end == value || *end != '\0' || v < 1)
+        fatal("%s expects a positive integer, got '%s'",
+              flag.c_str(), value);
+    return static_cast<int>(v);
+}
+
 /**
- * Parse --serial, --jobs N, and --csv FILE; anything else is kept as
- * a positional argument for the bench to interpret.
+ * Parse --serial, --jobs N, --parallel-shards N, and --csv FILE;
+ * anything else is kept as a positional argument for the bench to
+ * interpret.
  */
 inline SweepOptions
 parseSweepOptions(int argc, char **argv)
@@ -74,7 +96,9 @@ parseSweepOptions(int argc, char **argv)
         if (arg == "--serial")
             o.serial = true;
         else if (arg == "--jobs")
-            o.jobs = std::atoi(next());
+            o.jobs = parsePositiveOption(arg, next());
+        else if (arg == "--parallel-shards")
+            o.shards = parsePositiveOption(arg, next());
         else if (arg == "--csv")
             o.csv = next();
         else

@@ -131,6 +131,13 @@ class CloudDirector
     std::size_t numVApps() const { return vapps.size(); }
     /** @} */
 
+    /** The director mutates shared vApp/catalog/pool state on every
+     *  workflow step: an explicitly serialized control domain. */
+    static constexpr ShardDomain kShardDomain = ShardDomain::Control;
+
+    /** Shard the director's workflow events execute on. */
+    ShardId shard() const { return sim.shardId(); }
+
     /** @{ Component access. */
     Catalog &catalog() { return catalog_; }
     BaseDiskPoolManager &pool() { return pool_mgr; }

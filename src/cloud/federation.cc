@@ -29,12 +29,32 @@ CloudFederation::CloudFederation(Simulator &sim_, StatRegistry &stats_,
 
     for (int s = 0; s < cfg.shards; ++s) {
         auto shard = std::make_unique<Shard>();
-        shard->inventory = std::make_unique<Inventory>(sim);
+
+        // With an engine attached the whole stack of federation
+        // shard s lives on one execution shard: the stacks share
+        // nothing, so the partition is shard-closed and safe for
+        // Threaded runs.  The pinned map keeps the server's agents
+        // and datastore slots on that same kernel.
+        Simulator *ksim = &sim;
+        ManagementServerConfig scfg = cfg.server;
+        StatRegistry *sreg = &stats;
+        if (cfg.engine) {
+            ShardId exec = static_cast<ShardId>(
+                s % cfg.engine->numShards());
+            ksim = &cfg.engine->shard(exec);
+            scfg.shard_plan.engine = cfg.engine;
+            scfg.shard_plan.map =
+                ShardMap::pinned(exec, cfg.engine->numShards());
+            shard->own_stats = std::make_unique<StatRegistry>();
+            sreg = shard->own_stats.get();
+        }
+
+        shard->inventory = std::make_unique<Inventory>(*ksim);
         shard->network =
-            std::make_unique<Network>(sim, cfg.network);
+            std::make_unique<Network>(*ksim, cfg.network);
         shard->server = std::make_unique<ManagementServer>(
-            sim, *shard->inventory, *shard->network, stats,
-            cfg.server);
+            *ksim, *shard->inventory, *shard->network, *sreg,
+            scfg);
         shard->director = std::make_unique<CloudDirector>(
             *shard->server, cfg.director);
 
@@ -84,6 +104,13 @@ CloudFederation::createTemplate(const std::string &name,
     return template_count++;
 }
 
+StatRegistry &
+CloudFederation::shardStats(std::size_t i)
+{
+    Shard &s = *shards[i];
+    return s.own_stats ? *s.own_stats : stats;
+}
+
 std::size_t
 CloudFederation::pickShard()
 {
@@ -118,6 +145,15 @@ CloudFederation::deploy(std::size_t tenant_index,
     if (tenant_index >= tenant_count ||
         template_index >= template_count) {
         return -1;
+    }
+    // The router reads every shard's inventory and mutates routed
+    // state — serialized work by design.  During a Threaded run the
+    // calling worker owns only its own shard, so routing must happen
+    // between runs (the A3 bench fires its deploy schedule up front).
+    if (cfg.engine && cfg.engine->running() &&
+        cfg.engine->mode() == ShardExecMode::Threaded) {
+        panic("CloudFederation::deploy during a Threaded run: route "
+              "deploys before runUntil() or use Merge mode");
     }
     std::size_t s = pickShard();
     Shard &shard = *shards[s];

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "cloud/cloud_director.hh"
+#include "sim/sharded_simulator.hh"
 
 namespace vcp {
 
@@ -46,6 +47,18 @@ struct FederationConfig
     ManagementServerConfig server;
     CloudDirectorConfig director;
     ShardRouting routing = ShardRouting::LeastLoaded;
+
+    /**
+     * Optional sharded engine (sim/sharded_simulator.hh).  When set,
+     * federation shard s binds its whole stack — inventory, network,
+     * server, agents, datastore slots, director — to execution shard
+     * s % engine->numShards(), and the Simulator passed to the
+     * constructor is ignored for shard construction.  Because the
+     * shards share nothing, the partition is shard-closed and the
+     * engine may run Threaded; each shard then records into its own
+     * StatRegistry (see shardStats()) so counters never race.
+     */
+    ShardedSimulator *engine = nullptr;
 };
 
 /** K share-nothing management domains behind one deploy front door. */
@@ -90,6 +103,10 @@ class CloudFederation
         return *shards[i]->server;
     }
 
+    /** The registry shard @p i records into: its private one when an
+     *  engine is attached, else the shared constructor registry. */
+    StatRegistry &shardStats(std::size_t i);
+
     /** @{ Federation-wide aggregates. */
     std::uint64_t deploysRouted() const { return routed; }
     std::uint64_t vmsProvisioned() const;
@@ -99,6 +116,9 @@ class CloudFederation
   private:
     struct Shard
     {
+        /** Private registry when an engine is attached (worker
+         *  threads must not share counter storage). */
+        std::unique_ptr<StatRegistry> own_stats;
         std::unique_ptr<Inventory> inventory;
         std::unique_ptr<Network> network;
         std::unique_ptr<ManagementServer> server;

@@ -76,6 +76,13 @@ class StorageRebalancer
 
     const RebalanceConfig &config() const { return cfg; }
 
+    /** Rebalance passes scan and mutate shared placement state: an
+     *  explicitly serialized control domain. */
+    static constexpr ShardDomain kShardDomain = ShardDomain::Control;
+
+    /** Shard the scan events execute on (the server's shard). */
+    ShardId shard() const { return srv.simulator().shardId(); }
+
   private:
     /** True if this VM can be relocated right now. */
     bool eligible(const Vm &vm) const;

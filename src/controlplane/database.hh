@@ -59,6 +59,14 @@ class InventoryDatabase
     ServiceCenter &center() { return pool; }
     const ServiceCenter &center() const { return pool; }
 
+    /** The inventory database is an explicitly serialized domain:
+     *  every txn mutates shared inventory state, so its events are
+     *  pinned to the control shard — never spread. */
+    static constexpr ShardDomain kShardDomain = ShardDomain::Control;
+
+    /** Shard the connection-pool events execute on. */
+    ShardId shard() const { return sim.shardId(); }
+
     /** Current inventory size used for cost scaling. */
     std::size_t inventorySize() const;
 

@@ -128,6 +128,14 @@ class LockManager
      *  record a "lock.wait" span.  Pass nullptr to detach. */
     void setTracer(SpanTracer *t);
 
+    /** Lock grant/queue state is shared across every operation: the
+     *  lock manager is an explicitly serialized domain, pinned to
+     *  the control shard. */
+    static constexpr ShardDomain kShardDomain = ShardDomain::Control;
+
+    /** Shard the grant events execute on. */
+    ShardId shard() const { return sim.shardId(); }
+
   private:
     struct Waiter
     {

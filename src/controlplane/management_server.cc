@@ -168,8 +168,13 @@ ManagementServer::hostAgent(HostId h)
     if (h.slot >= agents.size())
         agents.resize(h.slot + 1);
     auto &agent = agents[h.slot];
-    if (!agent)
-        agent = std::make_unique<HostAgent>(sim, h, cfg.agent);
+    if (!agent) {
+        // Bind the agent to its mapped shard kernel; without an
+        // engine this is the server's own kernel.
+        Simulator &asim = cfg.shard_plan.simFor(
+            cfg.shard_plan.map.hostShard(h.slot), sim);
+        agent = std::make_unique<HostAgent>(asim, h, cfg.agent);
+    }
     return *agent;
 }
 
@@ -182,9 +187,12 @@ ManagementServer::datastoreSlots(DatastoreId d)
         ds_slots.resize(d.slot + 1);
     auto &center = ds_slots[d.slot];
     if (!center) {
+        Simulator &dsim = cfg.shard_plan.simFor(
+            cfg.shard_plan.map.datastoreShard(d.slot), sim);
         center = std::make_unique<ServiceCenter>(
-            sim, "ds-slots:" + std::to_string(d.value),
+            dsim, "ds-slots:" + std::to_string(d.value),
             cfg.datastore_slots);
+        center->setShardDomain(ShardDomain::Datastore);
     }
     return *center;
 }

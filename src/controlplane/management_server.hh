@@ -83,6 +83,17 @@ struct ManagementServerConfig
     /** Keep finished Task records for inspection (tests want this;
      *  long-running benches may turn it off to bound memory). */
     bool retain_finished_tasks = true;
+
+    /**
+     * Intra-run execution binding (sim/shard.hh).  With an engine
+     * attached, per-host agents and per-datastore slot centers bind
+     * to the shard kernels the map assigns them, while the server
+     * core (API, scheduler, locks, DB, limiter) stays on the kernel
+     * the server was constructed with — the serialized control
+     * shard.  The default (null engine) reproduces the classic
+     * single-kernel layout exactly.
+     */
+    ShardPlan shard_plan;
 };
 
 /** The vCenter-class management server model. */

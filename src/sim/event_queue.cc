@@ -38,6 +38,15 @@ EventQueue::releaseSlot(std::uint32_t s)
 EventId
 EventQueue::push(SimTime when, int priority, InlineAction action)
 {
+    std::uint64_t n = ext_seq ? (*ext_seq)++ : next_seq++;
+    return pushSeq(when, priority, static_cast<std::uint32_t>(n),
+                   std::move(action));
+}
+
+EventId
+EventQueue::pushSeq(SimTime when, int priority, std::uint32_t seq,
+                    InlineAction action)
+{
     if (priority < -kPrioBias || priority >= kPrioBias)
         panic("EventQueue::push: priority %d out of 16-bit range",
               priority);
@@ -45,7 +54,6 @@ EventQueue::push(SimTime when, int priority, InlineAction action)
         panic("EventQueue::push: time %lld out of 47-bit range",
               static_cast<long long>(when));
     std::uint32_t s = acquireSlot(std::move(action));
-    std::uint32_t seq = static_cast<std::uint32_t>(next_seq++);
     gens[s] = seq;
     Entry e;
     e.key1 = (static_cast<std::uint64_t>(when) << 16) |
@@ -54,6 +62,18 @@ EventQueue::push(SimTime when, int priority, InlineAction action)
     heap.push_back(e); // reserves the space; siftUp re-places it
     siftUp(heap.size() - 1, e);
     return e.key2;
+}
+
+bool
+EventQueue::peekKey(std::uint64_t &key1, std::uint64_t &key2)
+{
+    if (tombstones)
+        dropStaleRoot();
+    if (heap.empty())
+        return false;
+    key1 = heap[0].key1;
+    key2 = heap[0].key2;
+    return true;
 }
 
 bool

@@ -77,6 +77,33 @@ class EventQueue
     EventId push(SimTime when, int priority, InlineAction action);
 
     /**
+     * Insert an event with an explicit 32-bit tie-break sequence
+     * instead of drawing from the insertion counter.  The sharded
+     * kernel uses this for cross-shard deliveries: their keys encode
+     * (source shard, source sequence) so ties at equal (time,
+     * priority) resolve identically on every run regardless of
+     * mailbox arrival timing.  The caller owns key uniqueness.
+     */
+    EventId pushSeq(SimTime when, int priority, std::uint32_t seq,
+                    InlineAction action);
+
+    /**
+     * Draw push() sequence numbers from @p counter instead of the
+     * queue's private one.  Sharing one counter across the per-shard
+     * queues of a deterministic-merge run reproduces the serial
+     * kernel's global insertion order exactly.  Null restores the
+     * private counter.
+     */
+    void setSeqCounter(std::uint64_t *counter) { ext_seq = counter; }
+
+    /**
+     * Copy the earliest live event's full sort key into
+     * @p key1 / @p key2 without removing it.
+     * @return false when the queue is empty.
+     */
+    bool peekKey(std::uint64_t &key1, std::uint64_t &key2);
+
+    /**
      * Cancel a pending event in O(1).  The callback and its slot are
      * reclaimed immediately.
      * @return true if the event was pending and is now cancelled.
@@ -234,6 +261,8 @@ class EventQueue
     std::uint32_t free_head = kNil;
     std::size_t tombstones = 0;
     std::uint64_t next_seq = 0;
+    /** Optional shared sequence counter (deterministic merge). */
+    std::uint64_t *ext_seq = nullptr;
 };
 
 } // namespace vcp

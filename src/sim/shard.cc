@@ -1,0 +1,37 @@
+#include "sim/shard.hh"
+
+#include "sim/sharded_simulator.hh"
+
+namespace vcp {
+
+const char *
+shardDomainName(ShardDomain d)
+{
+    switch (d) {
+    case ShardDomain::Control:
+        return "control";
+    case ShardDomain::HostAgent:
+        return "host_agent";
+    case ShardDomain::Datastore:
+        return "datastore";
+    case ShardDomain::Fabric:
+        return "fabric";
+    }
+    return "?";
+}
+
+std::string
+ShardMap::label(ShardId s)
+{
+    return "shard" + std::to_string(s);
+}
+
+Simulator &
+ShardPlan::simFor(ShardId s, Simulator &fallback) const
+{
+    if (!engine)
+        return fallback;
+    return engine->shard(s);
+}
+
+} // namespace vcp

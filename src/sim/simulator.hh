@@ -17,9 +17,12 @@
 #include "sim/event_queue.hh"
 #include "sim/inline_action.hh"
 #include "sim/random.hh"
+#include "sim/shard.hh"
 #include "sim/types.hh"
 
 namespace vcp {
+
+class ShardedSimulator;
 
 /** Discrete-event simulation kernel: clock, event set, and root RNG. */
 class Simulator
@@ -85,12 +88,58 @@ class Simulator
     /** Root RNG; components should fork() their own stream from it. */
     Rng &rng() { return root_rng; }
 
+    /** Firing time of the earliest pending event; kMaxSimTime when
+     *  the queue is empty. */
+    SimTime nextEventTime() { return events.nextTime(); }
+
+    /** Shard index this kernel holds inside a ShardedSimulator
+     *  (0 for a standalone simulator). */
+    ShardId shardId() const { return shard_id; }
+
+    /** Owning sharded engine; null for a standalone kernel. */
+    ShardedSimulator *shardOwner() const { return owner; }
+
   private:
+    friend class ShardedSimulator;
+
+    /** Peek the earliest event's full (key1, key2) sort key without
+     *  removing it; false when empty.  Merge-loop use only. */
+    bool
+    peekKey(std::uint64_t &key1, std::uint64_t &key2)
+    {
+        return events.peekKey(key1, key2);
+    }
+
+    /** Pop and execute exactly one event. @pre pending events. */
+    void executeNext();
+
+    /**
+     * Schedule at an absolute time with an explicit tie-break
+     * sequence — the delivery path for cross-shard sends.  Panics if
+     * @p when is in this shard's past, which is precisely a violated
+     * lookahead promise.
+     */
+    EventId scheduleCross(SimTime when, int priority,
+                          std::uint32_t seq, InlineAction action);
+
+    /** Advance the clock without running events (horizon commit /
+     *  merge-mode global time). @pre t >= now(). */
+    void
+    forceClock(SimTime t)
+    {
+        current = t;
+    }
+
+    /** Route sequence numbers through a shared counter (merge). */
+    void setSeqCounter(std::uint64_t *c) { events.setSeqCounter(c); }
+
     EventQueue events;
     SimTime current = 0;
     bool stopping = false;
     std::uint64_t processed = 0;
     Rng root_rng;
+    ShardId shard_id = 0;
+    ShardedSimulator *owner = nullptr;
 };
 
 } // namespace vcp

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Per-shard tracer lanes for sharded runs.
+ *
+ * A threaded ShardedSimulator run records one Window per executed
+ * horizon window per shard; flushing them into the tracer after the
+ * run yields a "shardK.window" span track per shard in the Perfetto
+ * export, so horizon stalls show up as gaps between the windows and
+ * the stall counters attribute them.  Lives in the trace layer (not
+ * the kernel) to keep vcp_sim free of trace dependencies.
+ */
+
+#ifndef VCP_TRACE_SHARD_LANES_HH
+#define VCP_TRACE_SHARD_LANES_HH
+
+namespace vcp {
+
+class ShardedSimulator;
+class SpanTracer;
+
+/**
+ * Emit per-shard lanes into @p tracer: one "shardK.window" span per
+ * executed horizon window plus final "shardK.events" /
+ * "shardK.stalled_rounds" counters.  Call after the run completes
+ * (the window buffers are quiescent then); a no-op when the tracer
+ * is disabled.
+ */
+void flushShardLanes(const ShardedSimulator &engine,
+                     SpanTracer &tracer);
+
+} // namespace vcp
+
+#endif // VCP_TRACE_SHARD_LANES_HH

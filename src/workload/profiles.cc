@@ -91,19 +91,44 @@ cloudBSpec()
     return s;
 }
 
+// Runs between engine_ and srv_ in the member-init sequence: by the
+// time the server copies its config, the plan points at the live
+// engine and the map matches the actual shard count.
+const ManagementServerConfig &
+CloudSimulation::shardedServerConfig()
+{
+    spec_.server.shard_plan.engine = &engine_;
+    spec_.server.shard_plan.map = ShardMap(engine_.numShards());
+    return spec_.server;
+}
+
 CloudSimulation::CloudSimulation(const CloudSetupSpec &spec,
                                  std::uint64_t seed)
-    : spec_(spec), sim_(seed), inv_(sim_),
-      net_(sim_, spec.infra.network),
-      srv_(sim_, inv_, net_, stats_, spec.server),
+    : spec_(spec),
+      engine_(spec.exec.shards < 1 ? 1 : spec.exec.shards, seed,
+              [&spec] {
+                  ShardedSimulator::Options o;
+                  o.mode = spec.exec.mode;
+                  o.lookahead = spec.exec.lookahead;
+                  return o;
+              }()),
+      inv_(engine_.shard(0)),
+      net_(engine_.shard(0), spec.infra.network),
+      srv_(engine_.shard(0), inv_, net_, stats_,
+           shardedServerConfig()),
       cloud_(srv_, spec.director)
 {
     if (spec_.infra.hosts < 1 || spec_.infra.datastores < 1)
         fatal("CloudSimulation: need at least one host and datastore");
+    if (spec_.exec.mode == ShardExecMode::Threaded &&
+        engine_.numShards() > 1)
+        fatal("CloudSimulation: the single-server model is not "
+              "shard-closed; use ShardExecMode::Merge (federation "
+              "stacks support Threaded)");
 
     // Stamp this thread's log lines with this simulation's clock
     // (thread-local, so sweep workers don't fight over it).
-    setLogClock(sim_.nowPtr());
+    setLogClock(engine_.shard(0).nowPtr());
 
     // Shared-storage cluster: every host sees every datastore.
     for (int d = 0; d < spec_.infra.datastores; ++d) {
@@ -137,21 +162,21 @@ CloudSimulation::CloudSimulation(const CloudSetupSpec &spec,
     }
 
     driver_ = std::make_unique<WorkloadDriver>(
-        cloud_, spec_.workload, sim_.rng().fork());
+        cloud_, spec_.workload, engine_.shard(0).rng().fork());
 }
 
 CloudSimulation::~CloudSimulation()
 {
-    if (logClock() == sim_.nowPtr())
+    if (logClock() == engine_.shard(0).nowPtr())
         setLogClock(nullptr);
 }
 
 void
 CloudSimulation::run(SimDuration drain)
 {
-    SimTime end = sim_.now() + spec_.workload.duration + drain;
+    SimTime end = engine_.now() + spec_.workload.duration + drain;
     driver_->start();
-    sim_.runUntil(end);
+    engine_.runUntil(end);
 }
 
 void

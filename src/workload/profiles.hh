@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "cloud/cloud_director.hh"
+#include "sim/sharded_simulator.hh"
 #include "workload/driver.hh"
 
 namespace vcp {
@@ -54,6 +55,31 @@ struct TemplateSpec
     SimDuration lease = hours(8);
 };
 
+/** Intra-run parallel execution of one simulated cloud. */
+struct ExecSpec
+{
+    /**
+     * Event-set shards.  Shard 0 is the serialized control shard
+     * (API, scheduler, locks, DB, director); shards 1..n-1 spread
+     * host agents and datastore slot centers.  1 reproduces the
+     * classic single-kernel run exactly.
+     */
+    int shards = 1;
+
+    /**
+     * Execution mode for shards > 1.  The single-server model is not
+     * shard-closed (pipeline helpers call host-agent and datastore
+     * centers synchronously), so only the deterministic Merge oracle
+     * is supported here — Threaded mode is rejected at construction.
+     * Share-nothing federation stacks (cloud/federation.hh) support
+     * Threaded.
+     */
+    ShardExecMode mode = ShardExecMode::Merge;
+
+    /** Cross-shard delivery lookahead (Threaded mode only). */
+    SimDuration lookahead = 0;
+};
+
 /** A complete simulated cloud: plant + tenancy + policy + demand. */
 struct CloudSetupSpec
 {
@@ -64,6 +90,7 @@ struct CloudSetupSpec
     ManagementServerConfig server;
     CloudDirectorConfig director;
     WorkloadConfig workload;
+    ExecSpec exec;
 };
 
 /** The dev/test profile (high churn, bursty, diurnal). */
@@ -102,10 +129,16 @@ class CloudSimulation
 
     /** Advance simulated time by @p d (phased runs for benches that
      *  snapshot utilizations before draining). */
-    void runFor(SimDuration d) { sim_.runUntil(sim_.now() + d); }
+    void runFor(SimDuration d)
+    {
+        engine_.runUntil(engine_.now() + d);
+    }
 
     /** @{ Layer access. */
-    Simulator &sim() { return sim_; }
+    /** The control shard's kernel (the only kernel when shards=1). */
+    Simulator &sim() { return engine_.shard(0); }
+    /** The sharded engine driving all kernels. */
+    ShardedSimulator &engine() { return engine_; }
     StatRegistry &stats() { return stats_; }
     Inventory &inventory() { return inv_; }
     Network &network() { return net_; }
@@ -114,6 +147,12 @@ class CloudSimulation
     WorkloadDriver &driver() { return *driver_; }
     const CloudSetupSpec &spec() const { return spec_; }
     /** @} */
+
+    /** Total events executed across every shard. */
+    std::uint64_t eventsProcessed() const
+    {
+        return engine_.eventsProcessed();
+    }
 
     /**
      * Attach @p tracer across the whole stack: the management server
@@ -144,8 +183,12 @@ class CloudSimulation
     }
 
   private:
+    /** Binds spec_.server.shard_plan to engine_ (init-order helper:
+     *  runs after spec_ and engine_, before srv_). */
+    const ManagementServerConfig &shardedServerConfig();
+
     CloudSetupSpec spec_;
-    Simulator sim_;
+    ShardedSimulator engine_;
     StatRegistry stats_;
     Inventory inv_;
     Network net_;

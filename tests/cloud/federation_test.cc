@@ -5,6 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <tuple>
+#include <vector>
+
 #include "cloud/federation.hh"
 #include "sim/logging.hh"
 
@@ -144,6 +148,74 @@ TEST_F(FederationTest, InvalidConfigFatal)
     StatRegistry st;
     FederationConfig cfg = smallFederation(0);
     EXPECT_THROW(CloudFederation(s, st, cfg), FatalError);
+}
+
+/** Engine-bound federation: run the same burst under the merge
+ *  oracle and under real threads; every per-shard registry must come
+ *  out byte-identical (share-nothing stacks are shard-closed). */
+TEST_F(FederationTest, EngineThreadedMatchesMergeOracle)
+{
+    auto runFed = [](ShardExecMode mode) {
+        ShardedSimulator::Options o;
+        o.mode = mode;
+        ShardedSimulator eng(3, 11, o);
+        StatRegistry st;
+        FederationConfig cfg = smallFederation(3);
+        cfg.engine = &eng;
+        CloudFederation f(eng.shard(0), st, cfg);
+        std::size_t t = f.addTenant({"org", 0});
+        std::size_t m = f.createTemplate("x", gib(4), 0.5, 1,
+                                         gib(1), 1, hours(24));
+        for (int i = 0; i < 12; ++i)
+            EXPECT_GE(f.deploy(t, m), 0);
+        eng.runUntil(hours(2));
+        std::vector<std::string> csv;
+        for (std::size_t s = 0; s < f.numShards(); ++s)
+            csv.push_back(f.shardStats(s).toCsv());
+        return std::tuple(f.vmsProvisioned(), f.opsCompleted(),
+                          eng.eventsProcessed(), csv);
+    };
+    auto merge = runFed(ShardExecMode::Merge);
+    auto threaded = runFed(ShardExecMode::Threaded);
+    EXPECT_EQ(std::get<0>(merge), 12u);
+    EXPECT_EQ(merge, threaded);
+}
+
+TEST_F(FederationTest, EngineThreadedRunsAreDeterministic)
+{
+    auto runOnce = [] {
+        ShardedSimulator::Options o;
+        o.mode = ShardExecMode::Threaded;
+        ShardedSimulator eng(2, 7, o);
+        StatRegistry st;
+        FederationConfig cfg = smallFederation(2);
+        cfg.engine = &eng;
+        cfg.routing = ShardRouting::RoundRobin;
+        CloudFederation f(eng.shard(0), st, cfg);
+        std::size_t t = f.addTenant({"org", 0});
+        std::size_t m = f.createTemplate("x", gib(4), 0.5, 1,
+                                         gib(1), 1, hours(24));
+        for (int i = 0; i < 8; ++i)
+            f.deploy(t, m);
+        eng.runUntil(hours(2));
+        return f.shardStats(0).toCsv() + f.shardStats(1).toCsv();
+    };
+    std::string first = runOnce();
+    for (int rep = 0; rep < 3; ++rep)
+        EXPECT_EQ(runOnce(), first) << "rep " << rep;
+}
+
+TEST_F(FederationTest, EngineShardsGetPrivateRegistries)
+{
+    ShardedSimulator eng(2, 3);
+    StatRegistry st;
+    FederationConfig cfg = smallFederation(2);
+    cfg.engine = &eng;
+    CloudFederation f(eng.shard(0), st, cfg);
+    EXPECT_NE(&f.shardStats(0), &st);
+    EXPECT_NE(&f.shardStats(0), &f.shardStats(1));
+    // Without an engine the shared registry is used as before.
+    EXPECT_EQ(&fed.shardStats(0), &stats);
 }
 
 TEST_F(FederationTest, RoutingNames)

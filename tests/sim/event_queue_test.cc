@@ -282,5 +282,85 @@ TEST(EventQueueTest, DeterministicPopOrderAcrossRuns)
     }
 }
 
+TEST(EventQueueTest, PushSeqOrdersCrossEventsAfterLocalTies)
+{
+    // Cross-shard deliveries carry explicit high-bit sequence keys:
+    // at equal (time, priority) they sort after every locally pushed
+    // event, and among themselves by (source shard, source seq).
+    EventQueue q;
+    std::vector<int> order;
+    q.pushSeq(10, 0, 0x80000000u | (2u << 24) | 0,
+              [&order] { order.push_back(20); });
+    q.push(10, 0, [&order] { order.push_back(1); });
+    q.pushSeq(10, 0, 0x80000000u | (1u << 24) | 1,
+              [&order] { order.push_back(11); });
+    q.pushSeq(10, 0, 0x80000000u | (1u << 24) | 0,
+              [&order] { order.push_back(10); });
+    q.push(10, 0, [&order] { order.push_back(2); });
+    while (!q.empty())
+        q.pop().action();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 10, 11, 20}));
+}
+
+TEST(EventQueueTest, PushSeqCancelLeavesConsistentTombstone)
+{
+    // Cancel a cross-shard delivery while it is pending (the
+    // "cancelled in flight" case): only a tombstone remains, later
+    // pops skip it, and re-cancel fails.
+    EventQueue q;
+    bool fired = false;
+    EventId victim = q.pushSeq(5, 0, 0x80000000u | 7,
+                               [&fired] { fired = true; });
+    q.push(5, 0, [] {});
+    EXPECT_TRUE(q.cancel(victim));
+    EXPECT_FALSE(q.cancel(victim));
+    EXPECT_EQ(q.size(), 1u);
+    EXPECT_EQ(q.nextTime(), 5);
+    q.pop();
+    EXPECT_TRUE(q.empty());
+    EXPECT_FALSE(fired);
+}
+
+TEST(EventQueueTest, SharedSeqCounterSpansQueues)
+{
+    // Two queues drawing from one counter interleave their ties in
+    // global push order — the deterministic-merge identity keystone.
+    std::uint64_t counter = 0;
+    EventQueue a, b;
+    a.setSeqCounter(&counter);
+    b.setSeqCounter(&counter);
+    std::vector<int> order;
+    a.push(10, 0, [&order] { order.push_back(0); });
+    b.push(10, 0, [&order] { order.push_back(1); });
+    a.push(10, 0, [&order] { order.push_back(2); });
+    b.push(10, 0, [&order] { order.push_back(3); });
+    EXPECT_EQ(counter, 4u);
+    // Merge by (key1, key2) exactly as the sharded merge loop does.
+    while (!a.empty() || !b.empty()) {
+        std::uint64_t ak1, ak2, bk1, bk2;
+        bool ha = a.peekKey(ak1, ak2);
+        bool hb = b.peekKey(bk1, bk2);
+        EventQueue &pick =
+            !hb || (ha && (ak1 < bk1 || (ak1 == bk1 && ak2 < bk2)))
+                ? a
+                : b;
+        pick.pop().action();
+    }
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(EventQueueTest, PeekKeySkipsCancelledHead)
+{
+    EventQueue q;
+    EventId head = q.push(1, 0, [] {});
+    q.push(2, 0, [] {});
+    q.cancel(head);
+    std::uint64_t k1 = 0, k2 = 0;
+    ASSERT_TRUE(q.peekKey(k1, k2));
+    EXPECT_EQ(static_cast<SimTime>(k1 >> 16), 2);
+    EventQueue empty;
+    EXPECT_FALSE(empty.peekKey(k1, k2));
+}
+
 } // namespace
 } // namespace vcp

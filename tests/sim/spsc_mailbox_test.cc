@@ -1,0 +1,104 @@
+#include "sim/spsc_mailbox.hh"
+
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace vcp {
+namespace {
+
+TEST(SpscMailbox, FifoSingleThread)
+{
+    SpscMailbox<int> box(8);
+    for (int i = 0; i < 5; ++i)
+        box.push(int(i));
+    int v = -1;
+    for (int i = 0; i < 5; ++i) {
+        ASSERT_TRUE(box.pop(v));
+        EXPECT_EQ(v, i);
+    }
+    EXPECT_FALSE(box.pop(v));
+    EXPECT_TRUE(box.empty());
+}
+
+TEST(SpscMailbox, CapacityRoundsToPowerOfTwo)
+{
+    SpscMailbox<int> box(5);
+    EXPECT_EQ(box.capacity(), 8u);
+}
+
+TEST(SpscMailbox, OverflowPreservesOrder)
+{
+    // Push far past capacity with no draining: the tail spills into
+    // the overflow vector, and popping must still return send order.
+    SpscMailbox<int> box(4);
+    for (int i = 0; i < 100; ++i)
+        box.push(int(i));
+    int v = -1;
+    for (int i = 0; i < 100; ++i) {
+        ASSERT_TRUE(box.pop(v));
+        ASSERT_EQ(v, i);
+    }
+    EXPECT_FALSE(box.pop(v));
+}
+
+TEST(SpscMailbox, OverflowStaysActiveUntilDrained)
+{
+    // Fill the ring, spill, then pop a few ring slots free and push
+    // again: the new items must NOT take the freed ring slots (they
+    // would overtake the spilled ones).
+    SpscMailbox<int> box(4);
+    int next = 0;
+    for (int i = 0; i < 6; ++i) // 4 in ring, 2 spilled
+        box.push(int(next++));
+    int v = -1;
+    ASSERT_TRUE(box.pop(v));
+    EXPECT_EQ(v, 0);
+    box.push(int(next++)); // must join the overflow, not the ring
+    for (int expect = 1; expect < next; ++expect) {
+        ASSERT_TRUE(box.pop(v));
+        ASSERT_EQ(v, expect);
+    }
+    EXPECT_TRUE(box.empty());
+}
+
+TEST(SpscMailbox, MoveOnlyPayload)
+{
+    SpscMailbox<std::unique_ptr<int>> box(2);
+    box.push(std::make_unique<int>(7));
+    box.push(std::make_unique<int>(8));
+    box.push(std::make_unique<int>(9)); // spills
+    std::unique_ptr<int> p;
+    ASSERT_TRUE(box.pop(p));
+    EXPECT_EQ(*p, 7);
+    ASSERT_TRUE(box.pop(p));
+    EXPECT_EQ(*p, 8);
+    ASSERT_TRUE(box.pop(p));
+    EXPECT_EQ(*p, 9);
+}
+
+TEST(SpscMailbox, TwoThreadStressKeepsOrder)
+{
+    SpscMailbox<std::uint64_t> box(64);
+    constexpr std::uint64_t kItems = 200000;
+    std::thread producer([&] {
+        for (std::uint64_t i = 0; i < kItems; ++i)
+            box.push(std::uint64_t(i));
+    });
+    std::uint64_t expect = 0;
+    std::uint64_t v = 0;
+    while (expect < kItems) {
+        if (box.pop(v)) {
+            ASSERT_EQ(v, expect);
+            ++expect;
+        }
+    }
+    producer.join();
+    EXPECT_FALSE(box.pop(v));
+}
+
+} // namespace
+} // namespace vcp

@@ -1,32 +1,27 @@
 #!/usr/bin/env bash
-# Run the kernel microbenchmarks and record the results as
-# google-benchmark JSON (default: BENCH_kernel.json in the repo
-# root), for before/after comparison when touching the kernel.
+# Run the end-to-end model benchmark (bench_e2e_model: the fixed F3
+# slice, serial and sharded) and record the results as
+# google-benchmark JSON (default: BENCH_e2e.json in the repo root).
 #
-# usage: tools/run_kernel_bench.sh [output.json] [extra bench args...]
+# usage: tools/run_e2e_bench.sh [output.json] [extra bench args...]
 #
-#   BUILD_DIR=build       build tree containing bench/bench_kernel
+#   BUILD_DIR=build       build tree containing bench/bench_e2e_model
 #   REPETITIONS=3         google-benchmark repetitions per benchmark
 #   FILTER=.              benchmark name filter regex
 #   ALLOW_NON_RELEASE=1   record from a non-Release tree anyway
 #                         (numbers are NOT comparable baselines)
-#
-# Extra arguments are passed through to bench_kernel, e.g.:
-#   tools/run_kernel_bench.sh out.json --benchmark_min_time=2
 
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${BUILD_DIR:-$repo_root/build}"
-out="${1:-$repo_root/BENCH_kernel.json}"
+out="${1:-$repo_root/BENCH_e2e.json}"
 shift || true
 repetitions="${REPETITIONS:-3}"
 filter="${FILTER:-.}"
 
-# Refuse to record baselines from an unoptimized tree.  An earlier
-# pair of BENCH JSONs was captured from a debug build and silently
-# became the comparison baseline — numbers from -O0 trees are not
-# comparable to anything.
+# Same Release guard as run_kernel_bench.sh: never record baselines
+# from an unoptimized tree.
 cache="$build_dir/CMakeCache.txt"
 bt=""
 if [ -f "$cache" ]; then
@@ -44,7 +39,7 @@ if [ "$bt" != "Release" ] && [ "$bt" != "RelWithDebInfo" ]; then
     echo "warning: ALLOW_NON_RELEASE=1 set; recording anyway." >&2
 fi
 
-bench="$build_dir/bench/bench_kernel"
+bench="$build_dir/bench/bench_e2e_model"
 if [ ! -x "$bench" ]; then
     echo "error: $bench not found; build first:" >&2
     echo "  cmake -B $build_dir -S $repo_root && cmake --build $build_dir -j" >&2
@@ -59,11 +54,6 @@ fi
     --benchmark_out_format=json \
     "$@"
 
-# The recorded context includes google-benchmark's own build type.
-# The distro package ships a library that reports "debug" (the
-# repo's code is still -O3; only the timing-harness library is
-# unoptimized) — surface it so nobody mistakes the field for the
-# tree's build type.
 if grep -q '"library_build_type": "debug"' "$out"; then
     echo "warning: the system google-benchmark library reports a" >&2
     echo "debug build; the repo tree is Release (guarded above)," >&2

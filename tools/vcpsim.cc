@@ -35,6 +35,7 @@
 #include "stats/table.hh"
 #include "trace/perfetto.hh"
 #include "trace/sampler.hh"
+#include "trace/shard_lanes.hh"
 #include "trace/tracer.hh"
 #include "workload/failures.hh"
 #include "workload/profiles.hh"
@@ -65,6 +66,10 @@ usage()
         "                     (--trace-out=FILE also accepted)\n"
         "  --trace-capacity N span ring capacity in records "
         "(default 1M)\n"
+        "  --parallel-shards N  partition the event set across N\n"
+        "                     per-shard kernels (deterministic merge\n"
+        "                     execution: output is byte-identical to\n"
+        "                     the serial run for any N)\n"
         "  --quiet            suppress warnings/info\n"
         "\n"
         "usage: vcpsim sweep <cloud-a|cloud-b> [options]\n"
@@ -78,7 +83,34 @@ usage()
         "concurrency)\n"
         "  --serial           run points one at a time (same "
         "results)\n"
+        "  --parallel-shards N  intra-run sharding for every point\n"
+        "                     (composes with --jobs: --jobs spreads\n"
+        "                     whole points over threads, while merge-\n"
+        "                     mode shards execute on the point's own\n"
+        "                     worker — total threads stay at --jobs)\n"
         "  --csv FILE         also write the sweep table as CSV\n");
+}
+
+/**
+ * Parse a strictly positive integer option value.  std::atoi would
+ * silently turn garbage ("four", "") into 0 — here that used to make
+ * `--jobs garbage` fall back to hardware concurrency without a word.
+ * Trailing junk ("8x") is rejected too.
+ */
+int
+parsePositiveInt(const char *flag, const char *value)
+{
+    char *end = nullptr;
+    long v = std::strtol(value, &end, 10);
+    if (end == value || *end != '\0' || v < 1 ||
+        v > (1l << 20)) {
+        std::fprintf(stderr,
+                     "vcpsim: %s expects a positive integer, got "
+                     "'%s'\n",
+                     flag, value);
+        std::exit(2);
+    }
+    return static_cast<int>(v);
 }
 
 bool
@@ -162,9 +194,12 @@ sweepMain(int argc, char **argv)
         } else if (arg == "--full-clones") {
             spec.director.use_linked_clones = false;
         } else if (arg == "--jobs") {
-            jobs = std::atoi(next());
+            jobs = parsePositiveInt("--jobs", next());
         } else if (arg == "--serial") {
             jobs = 1;
+        } else if (arg == "--parallel-shards") {
+            spec.exec.shards =
+                parsePositiveInt("--parallel-shards", next());
         } else if (arg == "--csv") {
             csv_path = next();
         } else {
@@ -269,7 +304,10 @@ main(int argc, char **argv)
         } else if (arg == "--rate") {
             spec.workload.arrival.rate_per_hour = std::atof(next());
         } else if (arg == "--hosts") {
-            spec.infra.hosts = std::atoi(next());
+            spec.infra.hosts = parsePositiveInt("--hosts", next());
+        } else if (arg == "--parallel-shards") {
+            spec.exec.shards =
+                parsePositiveInt("--parallel-shards", next());
         } else if (arg == "--mtbf") {
             mtbf_hours = std::atof(next());
         } else if (arg == "--full-clones") {
@@ -307,10 +345,12 @@ main(int argc, char **argv)
         }
     }
 
-    std::printf("vcpsim: profile=%s hours=%.1f seed=%llu linked=%s\n",
+    std::printf("vcpsim: profile=%s hours=%.1f seed=%llu linked=%s "
+                "shards=%d\n",
                 spec.name.c_str(), toHours(spec.workload.duration),
                 (unsigned long long)seed,
-                spec.director.use_linked_clones ? "yes" : "no");
+                spec.director.use_linked_clones ? "yes" : "no",
+                spec.exec.shards);
 
     CloudSimulation cs(spec, seed);
 
@@ -371,8 +411,25 @@ main(int argc, char **argv)
                 bottleneckResource(utils).c_str(),
                 controlPlaneLimited(utils) ? "control" : "data");
 
+    if (cs.engine().numShards() > 1) {
+        std::printf("shards (%s mode): %llu events total\n",
+                    shardExecModeName(cs.engine().mode()),
+                    (unsigned long long)cs.eventsProcessed());
+        for (int s = 0; s < cs.engine().numShards(); ++s) {
+            const auto &st = cs.engine().shardStats(
+                static_cast<ShardId>(s));
+            std::printf("  shard%d: %llu events, %llu cross-sent, "
+                        "%llu cross-received\n",
+                        s, (unsigned long long)st.events,
+                        (unsigned long long)st.cross_sent,
+                        (unsigned long long)st.cross_received);
+        }
+    }
+
     bool ok = true;
     if (tracer) {
+        if (cs.engine().numShards() > 1)
+            flushShardLanes(cs.engine(), *tracer);
         std::printf("\nphase attribution (span-sourced), dominant: "
                     "%s\n%s",
                     dominantPhase(*tracer).c_str(),
