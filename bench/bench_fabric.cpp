@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Fabric congestion and rerouting sweep: a leaf-spine topology with
+ * an oversubscribed spine uplink, driven end to end through the
+ * management pipeline.
+ *
+ * Part 1 sweeps a cross-rack clone storm against a fixed pair of
+ * rack-local clones: storm copy time grows linearly with storm size
+ * (the shared uplink is a PS pipe) while the rack-local copies hold
+ * their uncongested latency — the slowdown is localized to the
+ * bottleneck link, which the busiest-link column names explicitly.
+ *
+ * Part 2 injects a mid-copy uplink failure.  With a second spine the
+ * transfer reroutes (remaining bytes re-charged on the surviving
+ * path) and the op completes; with a single spine the path dies and
+ * the op fails with network-unreachable.
+ */
+
+#include <memory>
+#include <vector>
+
+#include "analysis/bottleneck.hh"
+#include "bench_util.hh"
+#include "controlplane/management_server.hh"
+
+namespace {
+
+using namespace vcp;
+
+/** Two racks, one or two spines, 1 GiB full clones. */
+class FabricRig
+{
+  public:
+    FabricRig(int spines, std::uint64_t seed)
+        : sim(seed), inv(sim), net(sim, netConfig(spines)),
+          srv(makeServer())
+    {
+        Fabric &fab = net.topology();
+        DatastoreConfig dc;
+        dc.capacity = gib(512);
+        dc.copy_bandwidth = 400.0 * 1024 * 1024;
+        auto addDs = [&](const char *name, int rack) {
+            dc.name = name;
+            DatastoreId d = inv.addDatastore(dc);
+            fab.attachDatastore(d, rack);
+            return d;
+        };
+        storm_src = addDs("storm-src", 0);
+        storm_dst = addDs("storm-dst", 1);
+        local_src = addDs("local-src", 0);
+        local_dst = addDs("local-dst", 0);
+
+        HostConfig hc;
+        hc.cores = 64;
+        hc.memory = gib(512);
+        hc.name = "h0";
+        h0 = inv.addHost(hc);
+        hc.name = "h1";
+        h1 = inv.addHost(hc);
+        fab.attachHost(h0, 0);
+        fab.attachHost(h1, 1);
+        for (HostId h : {h0, h1})
+            for (DatastoreId d :
+                 {storm_src, storm_dst, local_src, local_dst})
+                inv.connectHostToDatastore(h, d);
+
+        storm_tmpl = makeTemplate("storm-tmpl", storm_src);
+        local_tmpl = makeTemplate("local-tmpl", local_src);
+    }
+
+    void
+    submitClone(VmId tmpl, HostId host, DatastoreId dst,
+                std::vector<Task> &out)
+    {
+        OpRequest req;
+        req.type = OpType::CloneFull;
+        req.vm = tmpl;
+        req.host = host;
+        req.datastore = dst;
+        srv->submit(req,
+                    [&out](const Task &t) { out.push_back(t); });
+    }
+
+    static double
+    meanCopySec(const std::vector<Task> &ts)
+    {
+        if (ts.empty())
+            return 0.0;
+        double sum = 0.0;
+        for (const Task &t : ts)
+            sum += static_cast<double>(
+                t.phaseTime(TaskPhase::DataCopy));
+        return sum / static_cast<double>(ts.size()) / 1e6;
+    }
+
+    Simulator sim;
+    StatRegistry stats;
+    Inventory inv;
+    Network net;
+    std::unique_ptr<ManagementServer> srv;
+    HostId h0, h1;
+    DatastoreId storm_src, storm_dst, local_src, local_dst;
+    VmId storm_tmpl, local_tmpl;
+
+  private:
+    static NetworkConfig
+    netConfig(int spines)
+    {
+        NetworkConfig nc;
+        nc.fabric.preset = FabricPreset::LeafSpine;
+        nc.fabric.racks = 2;
+        nc.fabric.spines = spines;
+        nc.fabric.edge_bandwidth = 200.0 * 1024 * 1024;
+        nc.fabric.uplink_bandwidth = 25.0 * 1024 * 1024;
+        return nc;
+    }
+
+    std::unique_ptr<ManagementServer>
+    makeServer()
+    {
+        ManagementServerConfig sc;
+        sc.agent.op_slots = 32;
+        return std::make_unique<ManagementServer>(sim, inv, net,
+                                                  stats, sc);
+    }
+
+    VmId
+    makeTemplate(const char *name, DatastoreId ds)
+    {
+        VmConfig vc;
+        vc.name = name;
+        vc.vcpus = 1;
+        vc.memory = gib(1);
+        vc.is_template = true;
+        VmId t = inv.createVm(vc);
+        DiskConfig bdc;
+        bdc.kind = DiskKind::Flat;
+        bdc.datastore = ds;
+        bdc.capacity = gib(1);
+        bdc.initial_allocation = gib(1);
+        bdc.owner = t;
+        inv.vm(t).disks.push_back(inv.createDisk(bdc));
+        return t;
+    }
+};
+
+struct CongestionRow
+{
+    int storm = 0;
+    double storm_s = 0.0;
+    double local_s = 0.0;
+    double ratio = 0.0;
+    std::string busiest;
+};
+
+CongestionRow
+runCongestionPoint(int storm_n, std::uint64_t seed)
+{
+    FabricRig rig(/*spines=*/1, seed);
+    std::vector<Task> storm, local;
+    for (int i = 0; i < storm_n; ++i)
+        rig.submitClone(rig.storm_tmpl, rig.h1, rig.storm_dst,
+                        storm);
+    for (int i = 0; i < 2; ++i)
+        rig.submitClone(rig.local_tmpl, rig.h0, rig.local_dst,
+                        local);
+    rig.sim.run();
+
+    Fabric &fab = rig.net.topology();
+    SimDuration busiest_time = 0;
+    std::string busiest = "none";
+    for (FabricLinkId l = 0;
+         l < static_cast<FabricLinkId>(fab.numLinks()); ++l) {
+        if (fab.link(l).busyTime() > busiest_time) {
+            busiest_time = fab.link(l).busyTime();
+            busiest = fab.link(l).name();
+        }
+    }
+
+    CongestionRow r;
+    r.storm = storm_n;
+    r.storm_s = FabricRig::meanCopySec(storm);
+    r.local_s = FabricRig::meanCopySec(local);
+    r.ratio = r.local_s > 0.0 ? r.storm_s / r.local_s : 0.0;
+    r.busiest = busiest;
+    return r;
+}
+
+struct RerouteRow
+{
+    int spines = 0;
+    bool completed = false;
+    std::uint64_t reroutes = 0;
+    std::uint64_t failed = 0;
+    std::string error;
+    double copy_s = 0.0;
+};
+
+RerouteRow
+runReroutePoint(int spines, std::uint64_t seed)
+{
+    FabricRig rig(spines, seed);
+    std::vector<Task> done;
+    rig.submitClone(rig.storm_tmpl, rig.h1, rig.storm_dst, done);
+    // The 1 GiB copy holds the uplink for ~41 s; kill the loaded
+    // uplink mid-flight.
+    rig.sim.schedule(seconds(20), [&rig] {
+        Fabric &fab = rig.net.topology();
+        FabricLinkId victim = kInvalidFabricLink;
+        for (FabricLinkId l = 0;
+             l < static_cast<FabricLinkId>(fab.numLinks()); ++l) {
+            if (fab.link(l).name().rfind("up:", 0) == 0 &&
+                fab.link(l).activeTransfers() > 0) {
+                victim = l;
+                break;
+            }
+        }
+        if (victim != kInvalidFabricLink)
+            fab.setLinkUp(victim, false);
+    });
+    rig.sim.run();
+
+    RerouteRow r;
+    r.spines = spines;
+    r.completed = done.size() == 1 && done[0].succeeded();
+    r.reroutes = rig.net.topology().reroutes();
+    r.failed = rig.net.topology().failedTransfers();
+    r.error = done.empty() ? "none"
+                           : taskErrorName(done[0].error());
+    r.copy_s = FabricRig::meanCopySec(done);
+    return r;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace vcp;
+    setLogQuiet(true);
+    SweepOptions opts = parseSweepOptions(argc, argv);
+    banner("FABRIC",
+           "leaf-spine congestion localization and failure rerouting");
+
+    std::vector<int> storms = {1, 2, 4, 8, 16};
+    std::vector<CongestionRow> rows(storms.size());
+    makeSweepRunner(opts).run(storms.size(), [&](std::size_t i) {
+        rows[i] = runCongestionPoint(
+            storms[i], ParallelSweepRunner::forkSeed(71, i));
+    });
+
+    Table t({"storm", "storm_copy_s", "local_copy_s", "ratio",
+             "busiest_link"});
+    for (const CongestionRow &r : rows) {
+        t.row()
+            .cell(r.storm)
+            .cell(r.storm_s, 1)
+            .cell(r.local_s, 1)
+            .cell(r.ratio, 1)
+            .cell(r.busiest);
+    }
+    printTable("cross-rack storm vs rack-local clones "
+               "(2 racks, 1 spine, 25 MiB/s uplink)",
+               t);
+    maybeWriteCsv(opts, t);
+
+    std::vector<int> spine_counts = {2, 1};
+    std::vector<RerouteRow> rr(spine_counts.size());
+    makeSweepRunner(opts).run(spine_counts.size(),
+                              [&](std::size_t i) {
+        rr[i] = runReroutePoint(spine_counts[i],
+                                ParallelSweepRunner::forkSeed(72, i));
+    });
+
+    Table ft({"spines", "completed", "reroutes", "failed", "error",
+              "copy_s"});
+    for (const RerouteRow &r : rr) {
+        ft.row()
+            .cell(r.spines)
+            .cell(r.completed ? "yes" : "no")
+            .cell(r.reroutes)
+            .cell(r.failed)
+            .cell(r.error)
+            .cell(r.copy_s, 1);
+    }
+    printTable("mid-copy uplink failure at t=20s (1 GiB clone)", ft);
+    return 0;
+}

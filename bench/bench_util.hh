@@ -16,6 +16,7 @@
 
 #include "sim/logging.hh"
 #include "sim/parallel_sweep.hh"
+#include "sim/parse_util.hh"
 #include "stats/table.hh"
 #include "workload/profiles.hh"
 
@@ -69,12 +70,11 @@ struct SweepOptions
 inline int
 parsePositiveOption(const std::string &flag, const char *value)
 {
-    char *end = nullptr;
-    long v = std::strtol(value, &end, 10);
-    if (end == value || *end != '\0' || v < 1)
+    int v = 0;
+    if (!parseStrictPositiveInt(value, v))
         fatal("%s expects a positive integer, got '%s'",
               flag.c_str(), value);
-    return static_cast<int>(v);
+    return v;
 }
 
 /**

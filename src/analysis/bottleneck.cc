@@ -61,8 +61,11 @@ collectUtilizations(ManagementServer &srv)
         out.push_back({"datastore-pipes(max)", false, pipe_max});
     }
 
+    // Busiest link of the routed topology; for the degenerate
+    // single-link fabric this is exactly the old flat-pipe number.
     double net_u = elapsed > 0.0
-        ? static_cast<double>(srv.network().fabric().busyTime()) /
+        ? static_cast<double>(
+              srv.network().topology().maxLinkBusyTime()) /
               elapsed
         : 0.0;
     out.push_back({"network-fabric", false, net_u});

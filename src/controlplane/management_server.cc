@@ -66,6 +66,8 @@ struct ManagementServer::OpCtx
     DatastoreId data_src_ds;
     DatastoreId data_dst_ds;
     Bytes data_bytes = 0;
+    HostId data_net_src;
+    HostId data_net_dst;
     /** @} */
 
     /** Return to pool-fresh state (vectors keep their capacity). */
@@ -93,6 +95,8 @@ struct ManagementServer::OpCtx
         data_src_ds = DatastoreId();
         data_dst_ds = DatastoreId();
         data_bytes = 0;
+        data_net_src = HostId();
+        data_net_dst = HostId();
     }
 };
 
@@ -243,6 +247,7 @@ ManagementServer::attachTracer(SpanTracer *t)
     sched.setTracer(t);
     locks.setTracer(t);
     db.setTracer(t);
+    net.topology().setTracer(t);
     if (!t) {
         api.setTrace(nullptr, 0);
         return;
@@ -509,7 +514,8 @@ ManagementServer::runAgentDataPhase(CtxPtr ctx, HostId host,
                                     DatastoreId slot_ds,
                                     DatastoreId src_ds,
                                     DatastoreId dst_ds, Bytes bytes,
-                                    InlineAction then)
+                                    InlineAction then,
+                                    HostId net_src, HostId net_dst)
 {
     ctx->next = std::move(then);
     ctx->phase_start = sim.now();
@@ -518,6 +524,8 @@ ManagementServer::runAgentDataPhase(CtxPtr ctx, HostId host,
     ctx->data_src_ds = src_ds;
     ctx->data_dst_ds = dst_ds;
     ctx->data_bytes = bytes;
+    ctx->data_net_src = net_src;
+    ctx->data_net_dst = net_dst;
     datastoreSlots(slot_ds).acquire(
         [this, ctx]() { dataSlotGranted(ctx); });
 }
@@ -556,12 +564,33 @@ ManagementServer::dataSetupDone(CtxPtr ctx)
         return;
     }
     ctx->phase_start = sim.now();
-    SharedBandwidthResource &pipe =
-        (ctx->data_src_ds == ctx->data_dst_ds)
-            ? inv.datastore(ctx->data_dst_ds).copyPipe()
-            : net.fabric();
-    pipe.startTransfer(ctx->data_bytes,
-                       [this, ctx]() { dataCopyDone(ctx); });
+    if (ctx->data_src_ds == ctx->data_dst_ds) {
+        inv.datastore(ctx->data_dst_ds)
+            .copyPipe()
+            .startTransfer(ctx->data_bytes,
+                           [this, ctx]() { dataCopyDone(ctx); });
+        return;
+    }
+    // Everything else moves over the routed fabric.  Endpoints are
+    // the datastores' bound nodes unless the op pinned hosts (live
+    // migration); the degenerate single-link topology ignores them.
+    Fabric &fab = net.topology();
+    FabricNodeId src = kInvalidFabricNode;
+    FabricNodeId dst = kInvalidFabricNode;
+    if (!fab.degenerate()) {
+        src = ctx->data_net_src.valid()
+                  ? fab.hostNode(ctx->data_net_src)
+                  : fab.datastoreNode(ctx->data_src_ds);
+        dst = ctx->data_net_dst.valid()
+                  ? fab.hostNode(ctx->data_net_dst)
+                  : fab.datastoreNode(ctx->data_dst_ds);
+    }
+    fab.startTransfer(
+        src, dst, ctx->data_bytes,
+        [this, ctx]() { dataCopyDone(ctx); },
+        [this, ctx]() { dataCopyFailed(ctx); },
+        ctx->task->id().value,
+        static_cast<std::uint8_t>(ctx->task->type()));
 }
 
 void
@@ -580,6 +609,17 @@ ManagementServer::dataCopyDone(CtxPtr ctx)
     ctx->held_ds_slot = nullptr;
     InlineAction then = std::move(ctx->next);
     then();
+}
+
+void
+ManagementServer::dataCopyFailed(CtxPtr ctx)
+{
+    ctx->task->addPhaseTime(TaskPhase::DataCopy,
+                            sim.now() - ctx->phase_start);
+    tracePhase(ctx, TaskPhase::DataCopy);
+    // finish() releases the held agent and datastore slot and rolls
+    // back the op's provisional records.
+    finish(ctx, TaskError::NetworkUnreachable);
 }
 
 void
@@ -1511,7 +1551,8 @@ ManagementServer::execMigrate(CtxPtr ctx)
                                    [this, ctx]() {
                             finish(ctx, TaskError::None);
                         });
-                    });
+                    },
+                    /*net_src=*/src, /*net_dst=*/dst);
             });
         });
 }

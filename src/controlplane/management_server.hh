@@ -227,17 +227,27 @@ class ManagementServer
     /**
      * Acquire datastore slot + host agent slot, run host setup, then
      * move @p bytes (0 = no copy), release both, and continue.
+     *
+     * Same-datastore copies charge the datastore's own pipe;
+     * anything else crosses the routed network fabric.  Fabric
+     * endpoints default to the src/dst datastores' bound nodes;
+     * @p net_src / @p net_dst override them with host nodes for
+     * host-to-host movement (live migration's memory stream).
      */
     void runAgentDataPhase(CtxPtr ctx, HostId host,
                            DatastoreId slot_ds, DatastoreId src_ds,
                            DatastoreId dst_ds, Bytes bytes,
-                           InlineAction then);
+                           InlineAction then,
+                           HostId net_src = HostId(),
+                           HostId net_dst = HostId());
 
     /** @{ runAgentDataPhase stages (parameters live in the ctx). */
     void dataSlotGranted(CtxPtr ctx);
     void dataAgentGranted(CtxPtr ctx);
     void dataSetupDone(CtxPtr ctx);
     void dataCopyDone(CtxPtr ctx);
+    /** Fabric lost the path mid-copy: fail the task. */
+    void dataCopyFailed(CtxPtr ctx);
     /** @} */
 
     /** Finish the task, releasing everything the ctx still holds. */

@@ -48,6 +48,8 @@ taskErrorName(TaskError e)
         return "cancelled";
       case TaskError::RateLimited:
         return "rate-limited";
+      case TaskError::NetworkUnreachable:
+        return "network-unreachable";
     }
     return "unknown";
 }

@@ -58,12 +58,13 @@ enum class TaskError
     OutOfSpace,       ///< datastore reservation failed
     HostUnavailable,  ///< host disconnected or in maintenance
     BadRequest,       ///< malformed request (missing base disk, ...)
-    Cancelled,        ///< cancelled before execution began
-    RateLimited,      ///< rejected by the tenant's API rate limit
+    Cancelled,          ///< cancelled before execution began
+    RateLimited,        ///< rejected by the tenant's API rate limit
+    NetworkUnreachable, ///< data-copy path lost to link/node failure
 };
 
 /** Number of TaskError codes (for error-counter caches). */
-constexpr std::size_t kNumTaskErrors = 9;
+constexpr std::size_t kNumTaskErrors = 10;
 
 /** Stable short name for an error code. */
 const char *taskErrorName(TaskError e);

@@ -124,6 +124,16 @@ SharedBandwidthResource::startTransfer(Bytes bytes,
     return id;
 }
 
+Bytes
+SharedBandwidthResource::remainingBytes(TransferId id)
+{
+    auto it = jobs.find(id);
+    if (it == jobs.end())
+        return 0;
+    advance();
+    return static_cast<Bytes>(std::llround(it->second.remaining));
+}
+
 bool
 SharedBandwidthResource::cancelTransfer(TransferId id)
 {

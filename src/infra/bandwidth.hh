@@ -68,6 +68,13 @@ class SharedBandwidthResource
      */
     Bytes bytesCompleted() const { return bytes_done; }
 
+    /**
+     * Bytes still outstanding for an in-flight transfer (advances
+     * the fluid model to now first).  0 for an unknown id — the
+     * transfer already completed or was cancelled.
+     */
+    Bytes remainingBytes(TransferId id);
+
     /** Cumulative busy time (at least one job active). */
     SimDuration busyTime() const;
 

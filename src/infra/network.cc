@@ -11,8 +11,9 @@ Network::Network(Simulator &sim_, const NetworkConfig &cfg_)
         fatal("Network: core bandwidth must be positive");
     if (cfg.message_latency < 0)
         fatal("Network: message latency must be non-negative");
-    pipe = std::make_unique<SharedBandwidthResource>(
-        sim, "net:core", cfg.core_bandwidth);
+    fab = std::make_unique<Fabric>(sim, cfg.core_bandwidth);
+    if (cfg.fabric.preset == FabricPreset::LeafSpine)
+        fab->buildLeafSpine(cfg.fabric);
 }
 
 void

@@ -3,12 +3,13 @@
  * Management-network model.
  *
  * Cross-datastore clones and live migrations move bulk data over the
- * network.  We model the network as one shared core fabric
- * (processor-sharing) plus a fixed per-message propagation latency
- * for control traffic.  Per-host NICs are deliberately not modeled
- * separately: in the management-plane workloads studied here the
- * fabric (or array) is the bottleneck, and a single PS pipe keeps the
- * contention behaviour while staying analyzable (see DESIGN.md).
+ * network.  The data path is a routed Fabric (fabric.hh): by default
+ * the degenerate single-link topology — one shared core pipe
+ * (processor-sharing), the original flat model — and optionally a
+ * leaf-spine topology whose per-link contention localizes congestion
+ * to the bottleneck link.  Control traffic keeps a fixed per-message
+ * propagation latency either way (per-host NICs are still not
+ * modeled separately; see DESIGN.md).
  */
 
 #ifndef VCP_INFRA_NETWORK_HH
@@ -18,6 +19,7 @@
 #include <string>
 
 #include "infra/bandwidth.hh"
+#include "infra/fabric.hh"
 #include "sim/simulator.hh"
 #include "sim/types.hh"
 
@@ -26,11 +28,15 @@ namespace vcp {
 /** Static sizing of the management network. */
 struct NetworkConfig
 {
-    /** Core fabric bandwidth available to bulk management traffic. */
+    /** Core fabric bandwidth available to bulk management traffic
+     *  (the degenerate single link's capacity). */
     double core_bandwidth = 1.25e9; // 10 Gb/s in bytes/s
 
     /** One-way propagation latency for control messages. */
     SimDuration message_latency = usec(500);
+
+    /** Data-path topology (default: degenerate single link). */
+    FabricConfig fabric;
 };
 
 /** The shared management network. */
@@ -41,9 +47,20 @@ class Network
 
     const NetworkConfig &config() const { return cfg; }
 
-    /** Shared bulk-transfer fabric. */
-    SharedBandwidthResource &fabric() { return *pipe; }
-    const SharedBandwidthResource &fabric() const { return *pipe; }
+    /**
+     * Shared bulk-transfer pipe of the degenerate fabric — the
+     * classic flat model.  With a multi-link topology this is just
+     * the first link; route transfers through topology() instead.
+     */
+    SharedBandwidthResource &fabric() { return fab->link(0); }
+    const SharedBandwidthResource &fabric() const
+    {
+        return fab->link(0);
+    }
+
+    /** The routed data-path topology. */
+    Fabric &topology() { return *fab; }
+    const Fabric &topology() const { return *fab; }
 
     /** One-way control-message latency. */
     SimDuration messageLatency() const { return cfg.message_latency; }
@@ -57,7 +74,7 @@ class Network
   private:
     Simulator &sim;
     NetworkConfig cfg;
-    std::unique_ptr<SharedBandwidthResource> pipe;
+    std::unique_ptr<Fabric> fab;
 };
 
 } // namespace vcp

@@ -8,14 +8,19 @@
 #include <vector>
 
 #include "sim/logging.hh"
+#include "sim/parse_util.hh"
 
 namespace vcp {
 
 ParallelSweepRunner::ParallelSweepRunner(int threads)
 {
     if (threads <= 0) {
-        if (const char *env = std::getenv("VCP_SWEEP_THREADS"))
-            threads = std::atoi(env);
+        if (const char *env = std::getenv("VCP_SWEEP_THREADS")) {
+            if (!parseStrictPositiveInt(env, threads))
+                warn("VCP_SWEEP_THREADS='%s' is not a positive "
+                     "integer; using hardware concurrency",
+                     env);
+        }
     }
     if (threads <= 0)
         threads =

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Strict integer parsing.
+ *
+ * std::atoi silently turns garbage ("four", "", "8x") into 0, and a
+ * bare strtoll accepts trailing junk — both have bitten real call
+ * sites (trace CSV fields landing on tenant 0, env overrides falling
+ * through without a word).  Every textual integer in the tree goes
+ * through these helpers instead: the whole string must be a base-10
+ * integer or the parse is rejected.
+ */
+
+#ifndef VCP_SIM_PARSE_UTIL_HH
+#define VCP_SIM_PARSE_UTIL_HH
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+
+namespace vcp {
+
+/**
+ * Parse @p s as a complete base-10 integer.
+ * @return true and set @p out iff the entire string is one integer
+ *         (no empty input, no trailing junk, no overflow).
+ */
+inline bool
+parseStrictInt(const char *s, long long &out)
+{
+    if (!s || *s == '\0')
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    long long v = std::strtoll(s, &end, 10);
+    if (end == s || *end != '\0' || errno == ERANGE)
+        return false;
+    out = v;
+    return true;
+}
+
+/**
+ * Parse @p s as a strictly positive integer (>= 1).
+ * @return true and set @p out iff the entire string is one positive
+ *         integer.
+ */
+inline bool
+parseStrictPositiveInt(const char *s, int &out)
+{
+    long long v = 0;
+    if (!parseStrictInt(s, v) || v < 1 || v > INT32_MAX)
+        return false;
+    out = static_cast<int>(v);
+    return true;
+}
+
+} // namespace vcp
+
+#endif // VCP_SIM_PARSE_UTIL_HH

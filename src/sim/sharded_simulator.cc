@@ -272,23 +272,47 @@ ShardedSimulator::runMergeUntil(SimTime until, bool drain)
     for (auto &sh : shards_)
         sh->sim.stopping = false;
     for (;;) {
-        // Globally minimal (time, priority, sequence) across all
-        // shard queues; the shared counter makes the sequence part a
-        // total order identical to the serial single-queue run.
-        std::size_t best = K;
-        std::uint64_t bk1 = 0, bk2 = 0;
+        // Fast path: when exactly one shard has pending events its
+        // head is globally minimal by construction, so the K-way key
+        // compare below is pure overhead.  This is the common regime
+        // late in a run (or with skewed partitions); cross-shard
+        // posts can repopulate any queue after any event, so the
+        // census is redone each iteration.
+        std::size_t only = K, nonempty = 0;
         for (std::size_t s = 0; s < K; ++s) {
-            std::uint64_t k1, k2;
-            if (!shards_[s]->sim.peekKey(k1, k2))
+            if (shards_[s]->sim.pendingEvents() == 0)
                 continue;
-            if (best == K || k1 < bk1 || (k1 == bk1 && k2 < bk2)) {
-                best = s;
-                bk1 = k1;
-                bk2 = k2;
-            }
+            only = s;
+            if (++nonempty > 1)
+                break;
         }
-        if (best == K)
+        if (nonempty == 0)
             break;
+        std::size_t best;
+        std::uint64_t bk1 = 0, bk2 = 0;
+        if (nonempty == 1) {
+            best = only;
+            shards_[best]->sim.peekKey(bk1, bk2);
+        } else {
+            // Globally minimal (time, priority, sequence) across all
+            // shard queues; the shared counter makes the sequence
+            // part a total order identical to the serial
+            // single-queue run.
+            best = K;
+            for (std::size_t s = 0; s < K; ++s) {
+                std::uint64_t k1, k2;
+                if (!shards_[s]->sim.peekKey(k1, k2))
+                    continue;
+                if (best == K || k1 < bk1 ||
+                    (k1 == bk1 && k2 < bk2)) {
+                    best = s;
+                    bk1 = k1;
+                    bk2 = k2;
+                }
+            }
+            if (best == K)
+                break;
+        }
         SimTime t = static_cast<SimTime>(bk1 >> 16);
         if (!drain && t > until)
             break;

@@ -149,6 +149,19 @@ CloudSimulation::CloudSimulation(const CloudSetupSpec &spec,
         host_ids.push_back(id);
     }
 
+    // A multi-link fabric needs every host and datastore pinned to a
+    // rack; round-robin matches how the director spreads placements,
+    // so rack-local and cross-rack copies both occur.
+    Fabric &topo = net_.topology();
+    if (!topo.degenerate()) {
+        int racks = spec_.infra.network.fabric.racks;
+        for (std::size_t i = 0; i < host_ids.size(); ++i)
+            topo.attachHost(host_ids[i], static_cast<int>(i % racks));
+        for (std::size_t i = 0; i < ds_ids.size(); ++i)
+            topo.attachDatastore(ds_ids[i],
+                                 static_cast<int>(i % racks));
+    }
+
     for (const TenantConfig &t : spec_.tenants)
         tenant_ids.push_back(cloud_.addTenant(t));
 

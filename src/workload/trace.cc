@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "sim/logging.hh"
+#include "sim/parse_util.hh"
 
 namespace vcp {
 
@@ -44,6 +45,18 @@ splitCsvLine(const std::string &line)
     return fields;
 }
 
+/** Parse one CSV integer field or die naming the line. */
+long long
+csvInt(const std::string &field, const char *what,
+       const std::string &line)
+{
+    long long v = 0;
+    if (!parseStrictInt(field.c_str(), v))
+        fatal("trace CSV: bad %s field '%s' in line '%s'", what,
+              field.c_str(), line.c_str());
+    return v;
+}
+
 } // namespace
 
 ActionTrace
@@ -65,13 +78,21 @@ ActionTrace::fromCsv(const std::string &csv)
             fatal("ActionTrace::fromCsv: malformed line '%s'",
                   line.c_str());
         ActionRecord r;
-        r.time = std::strtoll(f[0].c_str(), nullptr, 10);
+        r.time = csvInt(f[0], "time", line);
+        if (r.time < 0)
+            fatal("ActionTrace::fromCsv: negative time in line '%s'",
+                  line.c_str());
         r.action = cloudActionFromName(f[1]);
         if (r.action == CloudAction::NumActions)
             fatal("ActionTrace::fromCsv: unknown action '%s'",
                   f[1].c_str());
-        r.tenant_index = std::atoi(f[2].c_str());
-        r.template_index = std::atoi(f[3].c_str());
+        r.tenant_index =
+            static_cast<int>(csvInt(f[2], "tenant", line));
+        r.template_index =
+            static_cast<int>(csvInt(f[3], "template", line));
+        if (r.tenant_index < 0 || r.template_index < 0)
+            fatal("ActionTrace::fromCsv: negative index in line '%s'",
+                  line.c_str());
         trace.add(r);
     }
     return trace;
@@ -171,24 +192,24 @@ OpTrace::fromCsv(const std::string &csv)
             fatal("OpTrace::fromCsv: malformed line '%s'",
                   line.c_str());
         OpRecord r;
-        r.submitted = std::strtoll(f[0].c_str(), nullptr, 10);
+        r.submitted = csvInt(f[0], "submitted", line);
+        if (r.submitted < 0)
+            fatal("OpTrace::fromCsv: negative time in line '%s'",
+                  line.c_str());
         r.type = opTypeFromName(f[1]);
         if (r.type == OpType::NumOpTypes)
             fatal("OpTrace::fromCsv: unknown op '%s'", f[1].c_str());
-        r.latency = std::strtoll(f[2].c_str(), nullptr, 10);
+        r.latency = csvInt(f[2], "latency", line);
         r.success = f[3] == "1";
         r.error = TaskError::None;
-        for (int e = 0;
-             e <= static_cast<int>(TaskError::RateLimited); ++e) {
+        for (std::size_t e = 0; e < kNumTaskErrors; ++e) {
             if (f[4] == taskErrorName(static_cast<TaskError>(e))) {
                 r.error = static_cast<TaskError>(e);
                 break;
             }
         }
-        for (std::size_t p = 0; p < kNumTaskPhases; ++p) {
-            r.phases[p] =
-                std::strtoll(f[5 + p].c_str(), nullptr, 10);
-        }
+        for (std::size_t p = 0; p < kNumTaskPhases; ++p)
+            r.phases[p] = csvInt(f[5 + p], "phase", line);
         trace.records.push_back(r);
     }
     return trace;

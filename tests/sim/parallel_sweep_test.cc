@@ -86,6 +86,32 @@ TEST(ParallelSweepTest, EnvOverrideSetsAutoThreadCount)
     unsetenv("VCP_SWEEP_THREADS");
 }
 
+// Regression: std::atoi used to truncate "8x" to 8 and turn garbage
+// into 0 silently; strict parsing must ignore both (with a warning)
+// and fall back to hardware concurrency.
+TEST(ParallelSweepTest, EnvOverrideRejectsGarbage)
+{
+    // 77777 would be taken literally by atoi("77777x"); no machine's
+    // hardware concurrency is 77777, so equality means truncation.
+    setenv("VCP_SWEEP_THREADS", "77777x", 1);
+    ParallelSweepRunner trailing(0);
+    EXPECT_NE(trailing.threads(), 77777);
+    EXPECT_GE(trailing.threads(), 1);
+
+    setenv("VCP_SWEEP_THREADS", "four", 1);
+    ParallelSweepRunner words(0);
+    EXPECT_GE(words.threads(), 1);
+
+    setenv("VCP_SWEEP_THREADS", "-3", 1);
+    ParallelSweepRunner negative(0);
+    EXPECT_GE(negative.threads(), 1);
+
+    setenv("VCP_SWEEP_THREADS", "", 1);
+    ParallelSweepRunner empty(0);
+    EXPECT_GE(empty.threads(), 1);
+    unsetenv("VCP_SWEEP_THREADS");
+}
+
 TEST(ParallelSweepTest, ForkSeedIsAPureFunctionOfBaseAndIndex)
 {
     EXPECT_EQ(ParallelSweepRunner::forkSeed(31, 4),

@@ -56,7 +56,7 @@ TEST(ShardedProfile, MergeRunsAreByteIdenticalToSerial)
 {
     RunArtifact serial = runCloudA(1);
     ASSERT_GT(serial.ops_completed, 0u);
-    for (int k : {2, 8}) {
+    for (int k : {2, 4, 8}) {
         RunArtifact sharded = runCloudA(k);
         EXPECT_EQ(sharded.stats_csv, serial.stats_csv)
             << "shards=" << k;

@@ -37,6 +37,41 @@ TEST(ActionTraceTest, MalformedCsvFatal)
                  FatalError);
 }
 
+// Regression: these lines parsed silently under std::atoi — garbage
+// became 0, trailing junk was truncated, negative times round-tripped
+// — and now must be rejected outright.
+TEST(ActionTraceTest, GarbageNumericFieldsFatal)
+{
+    const char *hdr = "time_us,action,tenant,template\n";
+    // Non-numeric time (old behavior: atoi("four") == 0).
+    EXPECT_THROW(
+        ActionTrace::fromCsv(std::string(hdr) + "four,deploy,0,0\n"),
+        FatalError);
+    // Trailing junk on the time field (old: strtoll stopped at '1').
+    EXPECT_THROW(
+        ActionTrace::fromCsv(std::string(hdr) + "12junk,deploy,0,0\n"),
+        FatalError);
+    // Negative time.
+    EXPECT_THROW(
+        ActionTrace::fromCsv(std::string(hdr) + "-5,deploy,0,0\n"),
+        FatalError);
+    // Garbage tenant / template indices.
+    EXPECT_THROW(
+        ActionTrace::fromCsv(std::string(hdr) + "1,deploy,4x,0\n"),
+        FatalError);
+    EXPECT_THROW(
+        ActionTrace::fromCsv(std::string(hdr) + "1,deploy,0,\n"),
+        FatalError);
+    EXPECT_THROW(
+        ActionTrace::fromCsv(std::string(hdr) + "1,deploy,-2,0\n"),
+        FatalError);
+    // A well-formed line still parses.
+    ActionTrace ok =
+        ActionTrace::fromCsv(std::string(hdr) + "7,deploy,1,0\n");
+    ASSERT_EQ(ok.size(), 1u);
+    EXPECT_EQ(ok.all()[0].time, 7);
+}
+
 TEST(ActionTraceTest, EmptyCsvGivesEmptyTrace)
 {
     ActionTrace t =
@@ -130,6 +165,35 @@ TEST(OpTraceTest, MalformedCsvFatal)
 {
     EXPECT_THROW(OpTrace::fromCsv("header\nnot,enough,fields\n"),
                  FatalError);
+}
+
+// Regression companion to ActionTraceTest.GarbageNumericFieldsFatal:
+// the op trace's numeric columns reject what atoi used to accept.
+TEST(OpTraceTest, GarbageNumericFieldsFatal)
+{
+    OpTrace trace;
+    OpRequest req;
+    req.type = OpType::PowerOn;
+    Task task(TaskId(1), req);
+    task.markSubmitted(seconds(1));
+    task.markStarted(seconds(1));
+    task.markFinished(seconds(2), TaskError::None);
+    trace.add(task);
+    std::string csv = trace.toCsv();
+
+    // Corrupt the submitted column ("1000000" -> "1000000x").
+    std::string junk = csv;
+    std::size_t pos = junk.find('\n') + 1;
+    junk.insert(junk.find(',', pos), "x");
+    EXPECT_THROW(OpTrace::fromCsv(junk), FatalError);
+
+    // Negative submitted time.
+    std::string neg = csv;
+    neg.insert(neg.find('\n') + 1, "-");
+    EXPECT_THROW(OpTrace::fromCsv(neg), FatalError);
+
+    // The untouched round trip still works.
+    EXPECT_EQ(OpTrace::fromCsv(csv).size(), 1u);
 }
 
 } // namespace

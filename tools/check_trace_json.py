@@ -9,7 +9,11 @@ process/thread metadata for every (pid, tid) lane that carries events,
 and at least one span event overall.  With --expect-phase (repeatable)
 it additionally requires a pipeline-phase span (an X event with
 cat "phase") of that name -- CI uses this to assert all seven
-pipeline phases made it into the file.
+pipeline phases made it into the file.  With --expect-hop (repeatable)
+it requires a per-link data-copy hop span (an X event with cat
+"detail" named "hop:<link>") for that link, and that every hop span
+fits inside some data-copy phase span on the same lane -- CI uses
+this to assert routed copies attribute time to fabric links.
 
 Exit status: 0 valid, 1 invalid, 2 usage/IO error.  Stdlib only.
 """
@@ -64,7 +68,7 @@ def check_event(ev, i, problems):
     return ph
 
 
-def check_trace(doc, expect_phases):
+def check_trace(doc, expect_phases, expect_hops=()):
     problems = []
     if not isinstance(doc, dict):
         return ["top level: not a JSON object"]
@@ -78,6 +82,8 @@ def check_trace(doc, expect_phases):
     named_lanes = set()  # (pid, tid) covered by thread_name metadata
     used_lanes = set()
     seen_phases = set()  # names of cat="phase" pipeline spans
+    hop_spans = []       # (index, lane, name, ts, ts+dur)
+    copy_phases = []     # (lane, ts, ts+dur) of data-copy spans
     for i, ev in enumerate(events):
         ph = check_event(ev, i, problems)
         if ph is None:
@@ -86,9 +92,17 @@ def check_trace(doc, expect_phases):
         if ph == "M" and ev.get("name") == "thread_name":
             named_lanes.add((ev.get("pid"), ev.get("tid")))
         elif ph == "X":
-            used_lanes.add((ev.get("pid"), ev.get("tid")))
+            lane = (ev.get("pid"), ev.get("tid"))
+            used_lanes.add(lane)
             if ev.get("cat") == "phase":
                 seen_phases.add(ev.get("name"))
+                if ev.get("name") == "data-copy":
+                    copy_phases.append(
+                        (lane, ev["ts"], ev["ts"] + ev["dur"]))
+            elif (ev.get("cat") == "detail"
+                  and str(ev.get("name", "")).startswith("hop:")):
+                hop_spans.append((i, lane, ev["name"], ev["ts"],
+                                  ev["ts"] + ev["dur"]))
 
     if counts["X"] == 0:
         err(problems, "no complete (ph=X) span events at all")
@@ -101,6 +115,19 @@ def check_trace(doc, expect_phases):
     for phase in expect_phases:
         if phase not in seen_phases:
             err(problems, f"no pipeline-phase span named {phase!r}")
+
+    # Per-hop spans: each must sit inside a data-copy phase span on
+    # its own op lane (hop time is data-copy time, attributed to one
+    # fabric link), and every requested link must appear.
+    for i, lane, name, ts, end in hop_spans:
+        if not any(lane == cl and ts >= cs and end <= ce
+                   for cl, cs, ce in copy_phases):
+            err(problems, f"event {i}: hop span {name!r} outside "
+                "any data-copy phase on its lane")
+    seen_hops = {name[len("hop:"):] for _, _, name, _, _ in hop_spans}
+    for hop in expect_hops:
+        if hop not in seen_hops:
+            err(problems, f"no data-copy hop span for link {hop!r}")
     return problems
 
 
@@ -112,6 +139,10 @@ def main():
                     metavar="NAME",
                     help="require a span whose category contains NAME "
                     "(repeatable)")
+    ap.add_argument("--expect-hop", action="append", default=[],
+                    metavar="LINK",
+                    help="require a per-hop data-copy span for fabric "
+                    "link LINK, e.g. net:core (repeatable)")
     opts = ap.parse_args()
 
     try:
@@ -124,7 +155,7 @@ def main():
         print(f"invalid: {opts.trace} is not JSON: {e}")
         return 1
 
-    problems = check_trace(doc, opts.expect_phase)
+    problems = check_trace(doc, opts.expect_phase, opts.expect_hop)
     if problems:
         for p in problems:
             print(f"invalid: {p}")

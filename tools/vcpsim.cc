@@ -32,6 +32,7 @@
 #include "cloud/ha_manager.hh"
 #include "sim/logging.hh"
 #include "sim/parallel_sweep.hh"
+#include "sim/parse_util.hh"
 #include "stats/table.hh"
 #include "trace/perfetto.hh"
 #include "trace/sampler.hh"
@@ -55,6 +56,13 @@ usage()
         "  --full-clones      disable linked clones\n"
         "  --policy P         dispatch policy: fifo|fair-share|"
         "priority\n"
+        "  --fabric P         data-path topology preset: single-link\n"
+        "                     (flat shared pipe, default) or "
+        "leaf-spine\n"
+        "  --racks N          leaf-spine rack (ToR) count "
+        "(default 4)\n"
+        "  --spines N         leaf-spine spine-switch count "
+        "(default 2)\n"
         "  --mtbf H           inject host failures (mean time "
         "between failures, hours)\n"
         "  --dump-ops FILE    write the finished-operation trace "
@@ -100,17 +108,15 @@ usage()
 int
 parsePositiveInt(const char *flag, const char *value)
 {
-    char *end = nullptr;
-    long v = std::strtol(value, &end, 10);
-    if (end == value || *end != '\0' || v < 1 ||
-        v > (1l << 20)) {
+    int v = 0;
+    if (!vcp::parseStrictPositiveInt(value, v) || v > (1 << 20)) {
         std::fprintf(stderr,
                      "vcpsim: %s expects a positive integer, got "
                      "'%s'\n",
                      flag, value);
         std::exit(2);
     }
-    return static_cast<int>(v);
+    return v;
 }
 
 bool
@@ -312,6 +318,22 @@ main(int argc, char **argv)
             mtbf_hours = std::atof(next());
         } else if (arg == "--full-clones") {
             spec.director.use_linked_clones = false;
+        } else if (arg == "--fabric") {
+            const char *p = next();
+            if (!fabricPresetFromName(
+                    p, spec.infra.network.fabric.preset)) {
+                std::fprintf(stderr,
+                             "vcpsim: unknown fabric preset '%s' "
+                             "(single-link|leaf-spine)\n",
+                             p);
+                return 2;
+            }
+        } else if (arg == "--racks") {
+            spec.infra.network.fabric.racks =
+                parsePositiveInt("--racks", next());
+        } else if (arg == "--spines") {
+            spec.infra.network.fabric.spines =
+                parsePositiveInt("--spines", next());
         } else if (arg == "--policy") {
             std::string p = next();
             if (p == "fifo")
