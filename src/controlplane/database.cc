@@ -1,6 +1,7 @@
 #include "controlplane/database.hh"
 
 #include "sim/logging.hh"
+#include "telemetry/telemetry.hh"
 #include "trace/tracer.hh"
 
 namespace vcp {
@@ -28,6 +29,17 @@ InventoryDatabase::setTracer(SpanTracer *t)
         pool.setTrace(&tracer->ring(), tracer->intern("db.txn"));
     } else {
         pool.setTrace(nullptr, 0);
+    }
+}
+
+void
+InventoryDatabase::setTelemetry(TelemetryRegistry *reg)
+{
+    telem = reg;
+    if (telem) {
+        int shard = static_cast<int>(sim.shardId());
+        t_txn = telem->counter("db.txn", shard);
+        t_txn_lat = telem->histogram("db.txn_us", shard);
     }
 }
 
@@ -64,8 +76,13 @@ void
 InventoryDatabase::step(std::uint32_t idx)
 {
     SimDuration service = costs.sampleDbTxn(inventorySize());
+    chains[idx].txn_start = sim.now();
     pool.submit(service, [this, idx] {
         ++txn_count;
+        if (VCP_TELEM_ON(telem)) {
+            t_txn->add(sim.now());
+            t_txn_lat->add(sim.now() - chains[idx].txn_start);
+        }
         if (--chains[idx].remaining > 0) {
             step(idx);
             return;

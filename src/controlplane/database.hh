@@ -24,7 +24,10 @@
 
 namespace vcp {
 
+class LatencyHistogram;
 class SpanTracer;
+class TelemetryRegistry;
+class WindowedCounter;
 
 /** Sizing of the database model. */
 struct DatabaseConfig
@@ -75,11 +78,19 @@ class InventoryDatabase
      *  sampled on every change.  Pass nullptr to detach. */
     void setTracer(SpanTracer *t);
 
+    /** Attach streaming telemetry: each committed transaction then
+     *  feeds the "db.txn" counter and "db.txn_us" latency histogram
+     *  (queue wait + service per transaction).  Pass nullptr to
+     *  detach. */
+    void setTelemetry(TelemetryRegistry *reg);
+
   private:
     /** One operation's serialized transaction sequence in flight. */
     struct TxnChain
     {
         int remaining = 0;
+        /** Submit time of the in-flight txn (telemetry latency). */
+        SimTime txn_start = 0;
         InlineAction done;
     };
 
@@ -99,6 +110,9 @@ class InventoryDatabase
     int active_chains = 0;
     SpanTracer *tracer = nullptr;
     std::uint16_t chains_name = 0;
+    TelemetryRegistry *telem = nullptr;
+    WindowedCounter *t_txn = nullptr;
+    LatencyHistogram *t_txn_lat = nullptr;
 };
 
 } // namespace vcp

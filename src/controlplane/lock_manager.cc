@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "sim/logging.hh"
+#include "telemetry/telemetry.hh"
 #include "trace/tracer.hh"
 
 namespace vcp {
@@ -18,6 +19,18 @@ LockManager::setTracer(SpanTracer *t)
     tracer = t;
     if (tracer)
         wait_name = tracer->intern("lock.wait");
+}
+
+void
+LockManager::setTelemetry(TelemetryRegistry *reg)
+{
+    telem = reg;
+    if (telem) {
+        int shard = static_cast<int>(sim.shardId());
+        t_grant = telem->counter("locks.grant", shard);
+        t_contended = telem->counter("locks.contended", shard);
+        t_wait = telem->histogram("locks.wait_us", shard);
+    }
 }
 
 bool
@@ -109,6 +122,16 @@ LockManager::acquireStep(const std::shared_ptr<AcquireCtx> &ctx)
         // are the overwhelming majority and carry no information.
         if (waited > 0 && VCP_TRACER_ON(tracer))
             tracer->recordSpan(wait_name, 0, ctx->started, waited);
+        if (VCP_TELEM_ON(telem)) {
+            t_grant->add(sim.now());
+            // Only contended waits carry information: uncontended
+            // grants are the overwhelming majority and would drown
+            // the wait histogram in zeros.
+            if (waited > 0) {
+                t_contended->add(sim.now());
+                t_wait->add(waited);
+            }
+        }
         ++grant_count;
         InlineAction done = std::move(ctx->granted);
         done();

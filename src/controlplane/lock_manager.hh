@@ -30,7 +30,10 @@
 
 namespace vcp {
 
+class LatencyHistogram;
 class SpanTracer;
+class TelemetryRegistry;
+class WindowedCounter;
 
 /** Lock compatibility modes. */
 enum class LockMode
@@ -128,6 +131,14 @@ class LockManager
      *  record a "lock.wait" span.  Pass nullptr to detach. */
     void setTracer(SpanTracer *t);
 
+    /** Attach streaming telemetry: grants feed the "locks.grant" /
+     *  "locks.contended" counters and contended waits feed the
+     *  "locks.wait_us" histogram.  Pass nullptr to detach. */
+    void setTelemetry(TelemetryRegistry *reg);
+
+    /** Distinct keys currently locked (telemetry gauge probe). */
+    std::size_t lockedKeys() const { return table.size(); }
+
     /** Lock grant/queue state is shared across every operation: the
      *  lock manager is an explicitly serialized domain, pinned to
      *  the control shard. */
@@ -171,6 +182,10 @@ class LockManager
     std::uint64_t grant_count = 0;
     SpanTracer *tracer = nullptr;
     std::uint16_t wait_name = 0;
+    TelemetryRegistry *telem = nullptr;
+    WindowedCounter *t_grant = nullptr;
+    WindowedCounter *t_contended = nullptr;
+    LatencyHistogram *t_wait = nullptr;
 };
 
 } // namespace vcp

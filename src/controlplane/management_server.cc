@@ -6,6 +6,7 @@
 #include <string>
 
 #include "sim/logging.hh"
+#include "telemetry/telemetry.hh"
 #include "trace/tracer.hh"
 
 namespace vcp {
@@ -270,6 +271,89 @@ ManagementServer::attachTracer(SpanTracer *t)
 }
 
 void
+ManagementServer::attachTelemetry(TelemetryRegistry *reg)
+{
+    telem_ = reg;
+    sched.setTelemetry(reg);
+    locks.setTelemetry(reg);
+    db.setTelemetry(reg);
+    if (telem_) {
+        int shard = static_cast<int>(sim.shardId());
+        t_op = telem_->counter("cp.op", shard);
+        t_op_failed = telem_->counter("cp.op_failed", shard);
+        t_op_lat = telem_->histogram("cp.op_us", shard);
+    }
+}
+
+int
+ManagementServer::agentSlotsBusy() const
+{
+    int n = 0;
+    for (const auto &a : agents)
+        if (a)
+            n += a->center().busyServers();
+    return n;
+}
+
+std::size_t
+ManagementServer::agentQueueLength() const
+{
+    std::size_t n = 0;
+    for (const auto &a : agents)
+        if (a)
+            n += a->center().queueLength();
+    return n;
+}
+
+double
+ManagementServer::agentMeanUtilization() const
+{
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (const auto &a : agents) {
+        if (a) {
+            sum += a->center().utilization();
+            ++n;
+        }
+    }
+    return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+int
+ManagementServer::datastoreSlotsBusy() const
+{
+    int n = 0;
+    for (const auto &d : ds_slots)
+        if (d)
+            n += d->busyServers();
+    return n;
+}
+
+std::size_t
+ManagementServer::datastoreQueueLength() const
+{
+    std::size_t n = 0;
+    for (const auto &d : ds_slots)
+        if (d)
+            n += d->queueLength();
+    return n;
+}
+
+double
+ManagementServer::datastoreMeanUtilization() const
+{
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (const auto &d : ds_slots) {
+        if (d) {
+            sum += d->utilization();
+            ++n;
+        }
+    }
+    return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+void
 ManagementServer::tracePhase(CtxPtr ctx, TaskPhase phase)
 {
     if (!VCP_TRACER_ON(tracer_))
@@ -341,6 +425,11 @@ ManagementServer::submit(const OpRequest &req, TaskCallback on_done)
                 failed_stat = &stats.counter("cp.ops.failed");
             failed_stat->inc();
             errorCounter(TaskError::RateLimited).inc();
+            if (VCP_TELEM_ON(telem_)) {
+                t_op->add(sim.now());
+                t_op_failed->add(sim.now());
+                t_op_lat->add(t.latency());
+            }
             traceOp(t);
             if (task_observer)
                 task_observer(t);
@@ -438,6 +527,12 @@ ManagementServer::finish(CtxPtr ctx, TaskError err)
     for (std::size_t p = 0; p < kNumTaskPhases; ++p) {
         os.phase[p]->add(static_cast<double>(
             t.phaseTime(static_cast<TaskPhase>(p))));
+    }
+    if (VCP_TELEM_ON(telem_)) {
+        t_op->add(sim.now());
+        if (err != TaskError::None)
+            t_op_failed->add(sim.now());
+        t_op_lat->add(t.latency());
     }
 
     sched.onTaskDone();

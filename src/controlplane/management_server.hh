@@ -41,6 +41,7 @@
 namespace vcp {
 
 class SpanTracer;
+class TelemetryRegistry;
 
 /** Sizing and policy of the management server. */
 struct ManagementServerConfig
@@ -179,6 +180,31 @@ class ManagementServer
 
     /** The attached tracer, or nullptr. */
     SpanTracer *tracer() const { return tracer_; }
+
+    /**
+     * Attach the streaming-telemetry registry.  Creates the server's
+     * own instruments ("cp.op" counter, "cp.op_failed" counter,
+     * "cp.op_us" end-to-end latency histogram) and propagates the
+     * registry to the scheduler, lock manager, and database.  Pass
+     * nullptr to detach; every push site then costs one branch.
+     */
+    void attachTelemetry(TelemetryRegistry *reg);
+
+    /** The attached telemetry registry, or nullptr. */
+    TelemetryRegistry *telemetry() const { return telem_; }
+
+    /**
+     * @{ Aggregates over the per-host agents and per-datastore slot
+     * centers — the telemetry gauge probes poll these so the export
+     * stays O(instruments) instead of O(hosts).
+     */
+    int agentSlotsBusy() const;
+    std::size_t agentQueueLength() const;
+    double agentMeanUtilization() const;
+    int datastoreSlotsBusy() const;
+    std::size_t datastoreQueueLength() const;
+    double datastoreMeanUtilization() const;
+    /** @} */
 
   private:
     struct OpCtx;
@@ -343,6 +369,10 @@ class ManagementServer
 
     TaskCallback task_observer;
     SpanTracer *tracer_ = nullptr;
+    TelemetryRegistry *telem_ = nullptr;
+    WindowedCounter *t_op = nullptr;
+    WindowedCounter *t_op_failed = nullptr;
+    LatencyHistogram *t_op_lat = nullptr;
     std::uint16_t sub_agent_wait_ = 0;
     std::uint16_t sub_agent_exec_ = 0;
     std::int64_t next_task_id = 1;

@@ -1,6 +1,7 @@
 #include "controlplane/scheduler.hh"
 
 #include "sim/logging.hh"
+#include "telemetry/telemetry.hh"
 #include "trace/tracer.hh"
 
 namespace vcp {
@@ -27,6 +28,17 @@ TaskScheduler::TaskScheduler(Simulator &sim_, SchedPolicy policy,
         fatal("TaskScheduler: dispatch width must be >= 1");
     created_at = sim.now();
     last_change = sim.now();
+}
+
+void
+TaskScheduler::setTelemetry(TelemetryRegistry *reg)
+{
+    telem = reg;
+    if (telem) {
+        int shard = static_cast<int>(sim.shardId());
+        t_dispatch = telem->counter("sched.dispatch", shard);
+        t_wait = telem->histogram("sched.wait_us", shard);
+    }
 }
 
 void
@@ -112,6 +124,10 @@ TaskScheduler::drain()
         ++dispatch_count;
         wait_stats.add(static_cast<double>(sim.now() - w.enqueued));
         w.task->addPhaseTime(TaskPhase::Queue, sim.now() - w.enqueued);
+        if (VCP_TELEM_ON(telem)) {
+            t_dispatch->add(sim.now());
+            t_wait->add(sim.now() - w.enqueued);
+        }
         if (VCP_TRACER_ON(tracer)) {
             tracer->recordPhase(
                 static_cast<std::uint8_t>(w.task->type()),

@@ -26,7 +26,10 @@
 
 namespace vcp {
 
+class LatencyHistogram;
 class SpanTracer;
+class TelemetryRegistry;
+class WindowedCounter;
 
 /** Dispatch-ordering policies. */
 enum class SchedPolicy
@@ -78,6 +81,11 @@ class TaskScheduler
      *  Queue-phase span.  Pass nullptr to detach. */
     void setTracer(SpanTracer *t) { tracer = t; }
 
+    /** Attach streaming telemetry: each dispatch then feeds the
+     *  "sched.dispatch" counter and "sched.wait_us" histogram.
+     *  Pass nullptr to detach. */
+    void setTelemetry(TelemetryRegistry *reg);
+
     /**
      * Mean occupancy of the dispatch slots over the lifetime so far
      * (time-weighted running tasks / width).
@@ -123,6 +131,9 @@ class TaskScheduler
 
     SummaryStats wait_stats;
     SpanTracer *tracer = nullptr;
+    TelemetryRegistry *telem = nullptr;
+    WindowedCounter *t_dispatch = nullptr;
+    LatencyHistogram *t_wait = nullptr;
 };
 
 } // namespace vcp

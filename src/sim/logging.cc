@@ -3,7 +3,10 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <vector>
+
+#include "sim/parse_util.hh"
 
 #if defined(__GLIBC__)
 #include <execinfo.h>
@@ -13,16 +16,31 @@ namespace vcp {
 
 namespace {
 
-std::atomic<bool> quiet_flag{false};
+std::atomic<int> level_flag{static_cast<int>(LogLevel::Info)};
+
+/** Installed at startup (see setLogSink); empty = default stdio. */
+LogSink log_sink;
+
+bool
+levelEnabled(LogLevel lvl)
+{
+    return level_flag.load(std::memory_order_relaxed) >=
+        static_cast<int>(lvl);
+}
 
 /** Thread-local so each parallel-sweep worker stamps its own sim. */
 thread_local const std::int64_t *log_clock = nullptr;
 
-/** Shared warn/inform emitter: sim-tick prefix + optional tag. */
+/** Shared warn/inform emitter: sink, or sim-tick prefix + tag. */
 void
-emitLine(std::FILE *to, const char *level, const char *component,
+emitLine(std::FILE *to, LogLevel lvl, const char *component,
          const std::string &msg)
 {
+    if (log_sink) {
+        log_sink(lvl, component, msg);
+        return;
+    }
+    const char *level = lvl == LogLevel::Warn ? "warn" : "info";
     std::string prefix;
     if (log_clock) {
         char buf[32];
@@ -89,49 +107,49 @@ fatal(const char *fmt, ...)
 void
 warn(const char *fmt, ...)
 {
-    if (quiet_flag.load(std::memory_order_relaxed))
+    if (!levelEnabled(LogLevel::Warn))
         return;
     std::va_list ap;
     va_start(ap, fmt);
     std::string msg = vformatMessage(fmt, ap);
     va_end(ap);
-    emitLine(stderr, "warn", nullptr, msg);
+    emitLine(stderr, LogLevel::Warn, nullptr, msg);
 }
 
 void
 inform(const char *fmt, ...)
 {
-    if (quiet_flag.load(std::memory_order_relaxed))
+    if (!levelEnabled(LogLevel::Info))
         return;
     std::va_list ap;
     va_start(ap, fmt);
     std::string msg = vformatMessage(fmt, ap);
     va_end(ap);
-    emitLine(stdout, "info", nullptr, msg);
+    emitLine(stdout, LogLevel::Info, nullptr, msg);
 }
 
 void
 warnTagged(const char *component, const char *fmt, ...)
 {
-    if (quiet_flag.load(std::memory_order_relaxed))
+    if (!levelEnabled(LogLevel::Warn))
         return;
     std::va_list ap;
     va_start(ap, fmt);
     std::string msg = vformatMessage(fmt, ap);
     va_end(ap);
-    emitLine(stderr, "warn", component, msg);
+    emitLine(stderr, LogLevel::Warn, component, msg);
 }
 
 void
 informTagged(const char *component, const char *fmt, ...)
 {
-    if (quiet_flag.load(std::memory_order_relaxed))
+    if (!levelEnabled(LogLevel::Info))
         return;
     std::va_list ap;
     va_start(ap, fmt);
     std::string msg = vformatMessage(fmt, ap);
     va_end(ap);
-    emitLine(stdout, "info", component, msg);
+    emitLine(stdout, LogLevel::Info, component, msg);
 }
 
 void
@@ -147,15 +165,75 @@ logClock()
 }
 
 void
+setLogLevel(LogLevel level)
+{
+    level_flag.store(static_cast<int>(level),
+                     std::memory_order_relaxed);
+}
+
+LogLevel
+logLevel()
+{
+    return static_cast<LogLevel>(
+        level_flag.load(std::memory_order_relaxed));
+}
+
+const char *
+logLevelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Silent:
+        return "silent";
+      case LogLevel::Warn:
+        return "warn";
+      case LogLevel::Info:
+        return "info";
+    }
+    return "?";
+}
+
+bool
+parseLogLevel(const char *s, LogLevel &out)
+{
+    if (!s)
+        return false;
+    if (std::strcmp(s, "silent") == 0 ||
+        std::strcmp(s, "quiet") == 0) {
+        out = LogLevel::Silent;
+        return true;
+    }
+    if (std::strcmp(s, "warn") == 0) {
+        out = LogLevel::Warn;
+        return true;
+    }
+    if (std::strcmp(s, "info") == 0) {
+        out = LogLevel::Info;
+        return true;
+    }
+    long long v = 0;
+    if (parseStrictInt(s, v) && v >= 0 && v <= 2) {
+        out = static_cast<LogLevel>(v);
+        return true;
+    }
+    return false;
+}
+
+void
+setLogSink(LogSink sink)
+{
+    log_sink = std::move(sink);
+}
+
+void
 setLogQuiet(bool quiet)
 {
-    quiet_flag.store(quiet, std::memory_order_relaxed);
+    setLogLevel(quiet ? LogLevel::Silent : LogLevel::Info);
 }
 
 bool
 logQuiet()
 {
-    return quiet_flag.load(std::memory_order_relaxed);
+    return logLevel() == LogLevel::Silent;
 }
 
 } // namespace vcp

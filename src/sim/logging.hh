@@ -18,6 +18,7 @@
 
 #include <cstdarg>
 #include <cstdint>
+#include <functional>
 #include <stdexcept>
 #include <string>
 
@@ -66,10 +67,56 @@ void warnTagged(const char *component, const char *fmt, ...)
 void informTagged(const char *component, const char *fmt, ...)
     __attribute__((format(printf, 2, 3)));
 
-/** Globally enable/disable warn()/inform() output (default: enabled). */
+/**
+ * Severity filter for warn()/inform().  Each level includes the ones
+ * below it: Silent drops everything, Warn keeps warnings only, Info
+ * (the default) keeps both — so chaos/scale runs can silence info
+ * noise without losing warnings.
+ */
+enum class LogLevel : int
+{
+    Silent = 0,
+    Warn = 1,
+    Info = 2,
+};
+
+/** Set the global severity filter. */
+void setLogLevel(LogLevel level);
+
+/** Current severity filter. */
+LogLevel logLevel();
+
+/** Canonical name of @p level ("silent" / "warn" / "info"). */
+const char *logLevelName(LogLevel level);
+
+/**
+ * Parse a --log-level argument: a name (silent|warn|info) or a
+ * strict integer 0..2 (sim/parse_util.hh rules — no trailing junk).
+ * @return false on anything else, leaving @p out untouched.
+ */
+bool parseLogLevel(const char *s, LogLevel &out);
+
+/**
+ * Pluggable destination for warn()/inform() lines that pass the
+ * severity filter.  The sink receives the already-formatted message
+ * (without the sim-tick prefix; the raw component tag, or nullptr).
+ * Pass an empty function to restore the default stdio emitter.
+ * Install sinks at startup — swapping mid-run races with logging
+ * threads.
+ */
+using LogSink =
+    std::function<void(LogLevel, const char *component,
+                       const std::string &msg)>;
+void setLogSink(LogSink sink);
+
+/**
+ * Globally enable/disable warn()/inform() output.  Compatibility
+ * shim over the severity filter: quiet == LogLevel::Silent,
+ * !quiet == LogLevel::Info.
+ */
 void setLogQuiet(bool quiet);
 
-/** @return true when warn()/inform() output is suppressed. */
+/** @return true when warn()/inform() output is fully suppressed. */
 bool logQuiet();
 
 /**

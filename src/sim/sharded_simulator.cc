@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <barrier>
+#include <chrono>
 #include <thread>
 
 #include "sim/logging.hh"
@@ -138,6 +139,16 @@ const ShardedSimulator::ShardStats &
 ShardedSimulator::shardStats(ShardId s) const
 {
     return shards_.at(s)->stats;
+}
+
+std::size_t
+ShardedSimulator::mailboxBacklog(ShardId s) const
+{
+    std::size_t n = 0;
+    for (const auto &mb : shards_.at(s)->inbox)
+        if (mb)
+            n += mb->approxSize();
+    return n;
 }
 
 void
@@ -368,6 +379,16 @@ ShardedSimulator::worker(ShardId s, SimTime until, std::barrier<> &bar)
     Shard &sh = *shards_[s];
     const std::size_t K = shards_.size();
     tls_shard = s;
+    // Wall-clock time parked at round barriers, attributed to this
+    // shard — the telemetry export's load-imbalance signal.
+    auto timedBarrier = [&sh, &bar] {
+        auto t0 = std::chrono::steady_clock::now();
+        bar.arrive_and_wait();
+        auto dt = std::chrono::steady_clock::now() - t0;
+        sh.stats.barrier_wait_ns += static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(dt)
+                .count());
+    };
     for (;;) {
         // (1) Adopt every delivery from completed rounds, then
         // (2) publish this shard's send bound for the round: no event
@@ -377,7 +398,7 @@ ShardedSimulator::worker(ShardId s, SimTime until, std::barrier<> &bar)
         SimTime local_next = sh.sim.nextEventTime();
         SimTime bound = std::min(local_next, until);
         sh.bound.store(bound, std::memory_order_release);
-        bar.arrive_and_wait();
+        timedBarrier();
 
         // (3) Execute the window admitted by every *other* shard's
         // bound plus its declared lookahead.  Any send they can still
@@ -417,7 +438,7 @@ ShardedSimulator::worker(ShardId s, SimTime until, std::barrier<> &bar)
                                   static_cast<std::uint32_t>(
                                       std::min<std::uint64_t>(
                                           ran, UINT32_MAX))});
-        bar.arrive_and_wait();
+        timedBarrier();
 
         // (4) Termination, decided by shard 0 alone while the others
         // hold at the closing barrier (so the counters it reads are
@@ -441,7 +462,7 @@ ShardedSimulator::worker(ShardId s, SimTime until, std::barrier<> &bar)
             done_flag_.store(done, std::memory_order_release);
             ++rounds_;
         }
-        bar.arrive_and_wait();
+        timedBarrier();
         if (done_flag_.load(std::memory_order_acquire))
             break;
     }

@@ -100,6 +100,9 @@ class ShardedSimulator
         std::uint64_t stalled_rounds = 0;
         std::uint64_t cross_sent = 0;
         std::uint64_t cross_received = 0;
+        /** Wall-clock nanoseconds this shard's worker spent inside
+         *  round barriers (threaded mode) — load-imbalance signal. */
+        std::uint64_t barrier_wait_ns = 0;
     };
 
     /**
@@ -171,6 +174,10 @@ class ShardedSimulator
     std::size_t pendingEvents() const;
 
     const ShardStats &shardStats(ShardId s) const;
+
+    /** Undrained cross events queued toward shard @p s, summed over
+     *  its inboxes (racy while running; telemetry backlog probe). */
+    std::size_t mailboxBacklog(ShardId s) const;
 
     /** Horizon rounds completed (threaded mode). */
     std::uint64_t rounds() const { return rounds_; }

@@ -122,6 +122,21 @@ class SpscMailbox
     /** Ring capacity (after power-of-two rounding). */
     std::size_t capacity() const { return mask + 1; }
 
+    /** Approximate enqueued item count (racy by nature; exact once
+     *  the producer is quiescent — telemetry backlog probes). */
+    std::size_t
+    approxSize() const
+    {
+        std::size_t h = head.load(std::memory_order_acquire);
+        std::size_t t = tail.load(std::memory_order_acquire);
+        std::size_t n = t >= h ? t - h : 0;
+        if (overflow_active.load(std::memory_order_acquire)) {
+            std::lock_guard<std::mutex> lock(overflow_mutex);
+            n += overflow.size() - overflow_pos;
+        }
+        return n;
+    }
+
   private:
     std::vector<T> ring;
     std::size_t mask = 0;
@@ -132,7 +147,7 @@ class SpscMailbox
     alignas(64) std::atomic<std::size_t> head{0};
 
     alignas(64) std::atomic<bool> overflow_active{false};
-    std::mutex overflow_mutex;
+    mutable std::mutex overflow_mutex;
     std::vector<T> overflow;
     std::size_t overflow_pos = 0;
 };

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Minimal JSON emission helpers shared by the snapshot emitter and
+ * the health report.  Series names are controlled identifiers, but
+ * escaping is still done properly so arbitrary probe names (fabric
+ * link names contain dots and dashes) stay valid JSON.
+ */
+
+#ifndef VCP_TELEMETRY_JSON_UTIL_HH
+#define VCP_TELEMETRY_JSON_UTIL_HH
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+namespace vcp {
+namespace telemetry {
+
+/** Escape @p s for use inside a JSON string literal. */
+inline std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/**
+ * Deterministic, locale-independent number rendering.  %.6g keeps
+ * lines compact and is stable across platforms for the value ranges
+ * telemetry produces; non-finite values (never expected) render as 0
+ * to keep the stream parseable.
+ */
+inline std::string
+jsonNum(double v)
+{
+    if (!std::isfinite(v))
+        return "0";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+/** Prometheus metric-name sanitization: [a-zA-Z0-9_:] only. */
+inline std::string
+promName(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+            || (c >= '0' && c <= '9') || c == '_' || c == ':';
+        out += ok ? c : '_';
+    }
+    return out;
+}
+
+} // namespace telemetry
+} // namespace vcp
+
+#endif // VCP_TELEMETRY_JSON_UTIL_HH

@@ -111,6 +111,27 @@ class LatencyHistogram
     }
 
     /**
+     * Fold @p other into this histogram.  Buckets are fixed and
+     * identical for every instance, so the merge is exact: a merged
+     * histogram reports the same counts, sum, min/max, and quantiles
+     * as one histogram fed the union of both sample streams.  This is
+     * what lets per-shard telemetry instruments collapse into one
+     * unified export series.
+     */
+    void
+    merge(const LatencyHistogram &other)
+    {
+        if (other.n == 0)
+            return;
+        for (std::size_t i = 0; i < kNumBuckets; ++i)
+            counts[i] += other.counts[i];
+        n += other.n;
+        total += other.total;
+        lo = std::min(lo, other.lo);
+        hi = std::max(hi, other.hi);
+    }
+
+    /**
      * Bucket index of @p v: values below 2^kSubBits get exact unit
      * buckets; above, the MSB picks the octave and the next kSubBits
      * mantissa bits the sub-bucket.

@@ -1,14 +1,15 @@
 #include "trace/sampler.hh"
 
 #include "sim/logging.hh"
+#include "telemetry/telemetry.hh"
 
 namespace vcp {
 
-GaugeSampler::GaugeSampler(Simulator &sim_, SpanTracer &tracer_,
-                           SimDuration period_)
-    : sim(sim_), tracer(tracer_), period(period_)
+GaugeSampler::GaugeSampler(Simulator &sim_, SpanTracer *tracer_,
+                           SimDuration period_p)
+    : sim(sim_), tracer(tracer_), period_(period_p)
 {
-    if (period <= 0)
+    if (period_ <= 0)
         fatal("GaugeSampler: period must be > 0");
 }
 
@@ -16,7 +17,20 @@ void
 GaugeSampler::addGauge(const std::string &name,
                        std::function<std::int64_t()> probe)
 {
-    probes.push_back({tracer.intern(name), std::move(probe)});
+    Probe p;
+    p.label = name;
+    p.name = tracer ? tracer->intern(name) : 0;
+    p.read = std::move(probe);
+    p.sink = telem ? telem->gauge(name) : nullptr;
+    probes.push_back(std::move(p));
+}
+
+void
+GaugeSampler::attachTelemetry(TelemetryRegistry *reg)
+{
+    telem = reg;
+    for (Probe &p : probes)
+        p.sink = telem ? telem->gauge(p.label) : nullptr;
 }
 
 void
@@ -25,7 +39,7 @@ GaugeSampler::start()
     if (running)
         return;
     running = true;
-    sim.schedule(period, [this] { tick(); });
+    sim.schedule(period_, [this] { tick(); });
 }
 
 void
@@ -33,13 +47,18 @@ GaugeSampler::tick()
 {
     if (!running)
         return;
-    if (tracer.enabled()) {
+    bool traced = tracer && tracer->enabled();
+    if (traced || telem) {
         for (const Probe &p : probes) {
-            tracer.recordCounter(p.name, sim.now(), p.read());
+            std::int64_t v = p.read();
+            if (traced)
+                tracer->recordCounter(p.name, sim.now(), v);
+            if (p.sink)
+                p.sink->sample(sim.now(), static_cast<double>(v));
             ++sample_count;
         }
     }
-    sim.schedule(period, [this] { tick(); });
+    sim.schedule(period_, [this] { tick(); });
 }
 
 } // namespace vcp

@@ -1,12 +1,15 @@
 /**
  * @file
- * Periodic gauge sampling into the trace ring.
+ * Periodic gauge sampling into the trace ring and/or telemetry.
  *
  * Queue depths and in-flight counts change on almost every event;
  * recording each change would flood the ring for no analytical gain.
  * Instead a GaugeSampler polls registered probes on a fixed sim-time
  * period and records one Counter sample per probe per tick — bounded,
  * cheap, and exactly what a trace viewer needs for a load timeline.
+ * With a telemetry registry attached, every tick also feeds each
+ * probe's DecayingGauge, so the streaming snapshot export sees the
+ * same load timeline at the sampler's (CLI-configurable) resolution.
  *
  * The sampler only schedules events once start() is called, so a
  * simulation without tracing keeps a byte-identical event stream.
@@ -27,16 +30,20 @@
 
 namespace vcp {
 
-/** Polls registered gauges into Counter records. */
+class DecayingGauge;
+class TelemetryRegistry;
+
+/** Polls registered gauges into Counter records / decaying gauges. */
 class GaugeSampler
 {
   public:
     /**
      * @param sim event kernel.
-     * @param tracer destination ring (also supplies name interning).
+     * @param tracer destination ring (also supplies name interning),
+     *        or nullptr to sample into telemetry only.
      * @param period sampling period (> 0), default 100 sim-ms.
      */
-    GaugeSampler(Simulator &sim, SpanTracer &tracer,
+    GaugeSampler(Simulator &sim, SpanTracer *tracer,
                  SimDuration period = msec(100));
 
     GaugeSampler(const GaugeSampler &) = delete;
@@ -45,6 +52,13 @@ class GaugeSampler
     /** Register a probe; sampled every period once started. */
     void addGauge(const std::string &name,
                   std::function<std::int64_t()> probe);
+
+    /**
+     * Forward every tick's samples into @p reg: each probe gets (or
+     * creates) the registry's DecayingGauge of the same name.  Pass
+     * nullptr to detach.
+     */
+    void attachTelemetry(TelemetryRegistry *reg);
 
     /** Begin sampling (re-arms until stop()). */
     void start();
@@ -55,18 +69,26 @@ class GaugeSampler
     /** Samples recorded so far (all probes combined). */
     std::uint64_t samples() const { return sample_count; }
 
+    SimDuration period() const { return period_; }
+
   private:
     void tick();
 
     struct Probe
     {
-        std::uint16_t name;
+        /** Registered name (telemetry key; re-interned on attach). */
+        std::string label;
+        /** Interned trace name (0 without a tracer). */
+        std::uint16_t name = 0;
         std::function<std::int64_t()> read;
+        /** Telemetry destination, when attached. */
+        DecayingGauge *sink = nullptr;
     };
 
     Simulator &sim;
-    SpanTracer &tracer;
-    SimDuration period;
+    SpanTracer *tracer;
+    TelemetryRegistry *telem = nullptr;
+    SimDuration period_;
     bool running = false;
     std::uint64_t sample_count = 0;
     std::vector<Probe> probes;

@@ -1,6 +1,7 @@
 #include "workload/profiles.hh"
 
 #include "sim/logging.hh"
+#include "telemetry/telemetry.hh"
 #include "trace/sampler.hh"
 #include "trace/tracer.hh"
 
@@ -222,6 +223,129 @@ CloudSimulation::addStandardGauges(GaugeSampler &sampler)
         return static_cast<std::int64_t>(
             srv_.database().center().busyServers());
     });
+}
+
+void
+CloudSimulation::enableTelemetry(TelemetryRegistry *reg)
+{
+    srv_.attachTelemetry(reg);
+    if (!reg)
+        return;
+
+    // Queue-depth / occupancy gauges.  Sampled on the cold snapshot
+    // (and sampler) path, so probes may walk aggregates.
+    reg->addGaugeProbe("api.queue", [this] {
+        return static_cast<std::int64_t>(srv_.apiCenter().queueLength());
+    });
+    reg->addGaugeProbe("api.busy", [this] {
+        return static_cast<std::int64_t>(srv_.apiCenter().busyServers());
+    });
+    reg->addGaugeProbe("sched.queue", [this] {
+        return static_cast<std::int64_t>(srv_.scheduler().queueLength());
+    });
+    reg->addGaugeProbe("sched.running", [this] {
+        return static_cast<std::int64_t>(srv_.scheduler().inFlight());
+    });
+    reg->addGaugeProbe("db.queue", [this] {
+        return static_cast<std::int64_t>(
+            srv_.database().center().queueLength());
+    });
+    reg->addGaugeProbe("db.busy", [this] {
+        return static_cast<std::int64_t>(
+            srv_.database().center().busyServers());
+    });
+    reg->addGaugeProbe("agents.busy", [this] {
+        return static_cast<std::int64_t>(srv_.agentSlotsBusy());
+    });
+    reg->addGaugeProbe("agents.queued", [this] {
+        return static_cast<std::int64_t>(srv_.agentQueueLength());
+    });
+    reg->addGaugeProbe("locks.keys", [this] {
+        return static_cast<std::int64_t>(srv_.lockManager().lockedKeys());
+    });
+    reg->addGaugeProbe("fabric.active_transfers", [this] {
+        return static_cast<std::int64_t>(
+            net_.topology().activeTransfers());
+    });
+
+    // Per-subsystem utilizations — the health report's input.
+    reg->addUtilProbe("util.api",
+                      [this] { return srv_.apiCenter().utilization(); });
+    reg->addUtilProbe("util.dispatch",
+                      [this] { return srv_.scheduler().utilization(); });
+    reg->addUtilProbe("util.db", [this] {
+        return srv_.database().center().utilization();
+    });
+    reg->addUtilProbe("util.agents",
+                      [this] { return srv_.agentMeanUtilization(); });
+    reg->addUtilProbe("util.datastores",
+                      [this] { return srv_.datastoreMeanUtilization(); });
+    reg->addUtilProbe("util.fabric", [this] {
+        double elapsed = static_cast<double>(sim().now());
+        return elapsed > 0.0
+            ? static_cast<double>(
+                  net_.topology().maxLinkBusyTime()) / elapsed
+            : 0.0;
+    });
+
+    // Monotone counters maintained elsewhere; the emitter differences
+    // consecutive readings into windowed rates.
+    reg->addCounterProbe("cp.ops_submitted",
+                         [this] { return srv_.opsSubmitted(); });
+    reg->addCounterProbe("cp.ops_completed",
+                         [this] { return srv_.opsCompleted(); });
+    reg->addCounterProbe("cp.ops_failed",
+                         [this] { return srv_.opsFailed(); });
+    reg->addCounterProbe("cp.bytes_moved", [this] {
+        return static_cast<std::uint64_t>(srv_.bytesMoved());
+    });
+    reg->addCounterProbe("db.txns", [this] {
+        return srv_.database().txnsCommitted();
+    });
+    reg->addCounterProbe("fabric.reroutes", [this] {
+        return net_.topology().reroutes();
+    });
+    reg->addCounterProbe("fabric.failed_transfers", [this] {
+        return net_.topology().failedTransfers();
+    });
+
+    // Per-shard engine series.  Shard-scoped: exported under the
+    // trailing "shards" section because their values legitimately
+    // differ across --parallel-shards counts.
+    reg->addCounterProbe(
+        "sim.events", [this] { return engine_.eventsProcessed(); },
+        true);
+    for (int s = 0; s < engine_.numShards(); ++s) {
+        auto sid = static_cast<ShardId>(s);
+        std::string prefix = "shard" + std::to_string(s);
+        reg->addCounterProbe(
+            prefix + ".events",
+            [this, sid] { return engine_.shardStats(sid).events; },
+            true);
+        reg->addCounterProbe(
+            prefix + ".stalled_rounds",
+            [this, sid] {
+                return engine_.shardStats(sid).stalled_rounds;
+            },
+            true);
+        reg->addCounterProbe(
+            prefix + ".cross_sent",
+            [this, sid] { return engine_.shardStats(sid).cross_sent; },
+            true);
+        reg->addCounterProbe(
+            prefix + ".barrier_wait_ns",
+            [this, sid] {
+                return engine_.shardStats(sid).barrier_wait_ns;
+            },
+            true);
+        reg->addGaugeProbe(
+            prefix + ".mailbox",
+            [this, sid] {
+                return static_cast<std::int64_t>(
+                    engine_.mailboxBacklog(sid));
+            },
+            true);
+    }
 }
 
 } // namespace vcp

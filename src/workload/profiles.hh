@@ -31,6 +31,7 @@ namespace vcp {
 
 class GaugeSampler;
 class SpanTracer;
+class TelemetryRegistry;
 
 /** Physical-plant sizing. */
 struct InfraSpec
@@ -167,6 +168,17 @@ class CloudSimulation
      * busy connections) on a caller-owned sampler.
      */
     void addStandardGauges(GaugeSampler &sampler);
+
+    /**
+     * Attach a caller-owned telemetry registry across the stack:
+     * push instruments on the management server (scheduler, locks,
+     * database, op latency) plus polled probes for every saturation
+     * point — queue-depth gauges, per-subsystem utilizations,
+     * monotone counters, and per-shard engine series (events,
+     * mailbox backlog, horizon stalls, barrier wait).  Pass nullptr
+     * to detach the push side.
+     */
+    void enableTelemetry(TelemetryRegistry *reg);
 
     /** Tenant/template ids in spec order. */
     const std::vector<TenantId> &tenantIds() const { return tenant_ids; }

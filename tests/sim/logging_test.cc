@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Severity-filter and log-sink tests: each level keeps exactly the
+ * severities at or below it, the pluggable sink sees the filtered
+ * stream (with component tags), --log-level parsing is strict, and
+ * the legacy quiet switch maps onto the filter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace vcp {
+namespace {
+
+/** Captures filtered log lines; restores defaults on destruction. */
+struct SinkCapture
+{
+    struct Line
+    {
+        LogLevel level;
+        std::string component;
+        std::string msg;
+    };
+    std::vector<Line> lines;
+
+    SinkCapture()
+    {
+        setLogSink([this](LogLevel lvl, const char *component,
+                          const std::string &msg) {
+            lines.push_back(
+                {lvl, component ? component : "", msg});
+        });
+    }
+
+    ~SinkCapture()
+    {
+        setLogSink({});
+        setLogLevel(LogLevel::Info);
+    }
+};
+
+TEST(Logging, InfoLevelKeepsWarningsAndInforms)
+{
+    SinkCapture cap;
+    setLogLevel(LogLevel::Info);
+    warn("w %d", 1);
+    inform("i %d", 2);
+    ASSERT_EQ(cap.lines.size(), 2u);
+    EXPECT_EQ(cap.lines[0].level, LogLevel::Warn);
+    EXPECT_EQ(cap.lines[0].msg, "w 1");
+    EXPECT_EQ(cap.lines[1].level, LogLevel::Info);
+    EXPECT_EQ(cap.lines[1].msg, "i 2");
+}
+
+TEST(Logging, WarnLevelDropsInforms)
+{
+    SinkCapture cap;
+    setLogLevel(LogLevel::Warn);
+    inform("dropped");
+    warn("kept");
+    ASSERT_EQ(cap.lines.size(), 1u);
+    EXPECT_EQ(cap.lines[0].level, LogLevel::Warn);
+    EXPECT_EQ(cap.lines[0].msg, "kept");
+}
+
+TEST(Logging, SilentLevelDropsEverything)
+{
+    SinkCapture cap;
+    setLogLevel(LogLevel::Silent);
+    warn("dropped");
+    inform("dropped");
+    warnTagged("comp", "dropped");
+    EXPECT_TRUE(cap.lines.empty());
+}
+
+TEST(Logging, SinkSeesComponentTags)
+{
+    SinkCapture cap;
+    setLogLevel(LogLevel::Info);
+    warnTagged("scheduler", "queue depth %d", 9);
+    informTagged("fabric", "link up");
+    ASSERT_EQ(cap.lines.size(), 2u);
+    EXPECT_EQ(cap.lines[0].component, "scheduler");
+    EXPECT_EQ(cap.lines[0].msg, "queue depth 9");
+    EXPECT_EQ(cap.lines[1].component, "fabric");
+}
+
+TEST(Logging, QuietShimMapsOntoSeverityFilter)
+{
+    setLogQuiet(true);
+    EXPECT_EQ(logLevel(), LogLevel::Silent);
+    EXPECT_TRUE(logQuiet());
+    setLogQuiet(false);
+    EXPECT_EQ(logLevel(), LogLevel::Info);
+    EXPECT_FALSE(logQuiet());
+}
+
+TEST(Logging, ParseAcceptsNamesAndStrictIntegers)
+{
+    LogLevel l = LogLevel::Info;
+    EXPECT_TRUE(parseLogLevel("silent", l));
+    EXPECT_EQ(l, LogLevel::Silent);
+    EXPECT_TRUE(parseLogLevel("quiet", l));
+    EXPECT_EQ(l, LogLevel::Silent);
+    EXPECT_TRUE(parseLogLevel("warn", l));
+    EXPECT_EQ(l, LogLevel::Warn);
+    EXPECT_TRUE(parseLogLevel("info", l));
+    EXPECT_EQ(l, LogLevel::Info);
+    EXPECT_TRUE(parseLogLevel("0", l));
+    EXPECT_EQ(l, LogLevel::Silent);
+    EXPECT_TRUE(parseLogLevel("2", l));
+    EXPECT_EQ(l, LogLevel::Info);
+}
+
+TEST(Logging, ParseRejectsGarbageWithoutTouchingOutput)
+{
+    LogLevel l = LogLevel::Warn;
+    EXPECT_FALSE(parseLogLevel("loud", l));
+    EXPECT_FALSE(parseLogLevel("3", l));
+    EXPECT_FALSE(parseLogLevel("-1", l));
+    EXPECT_FALSE(parseLogLevel("1x", l)); // strict: no trailing junk
+    EXPECT_FALSE(parseLogLevel("", l));
+    EXPECT_EQ(l, LogLevel::Warn);
+}
+
+TEST(Logging, LevelNamesRoundTrip)
+{
+    for (LogLevel l : {LogLevel::Silent, LogLevel::Warn,
+                       LogLevel::Info}) {
+        LogLevel parsed = LogLevel::Info;
+        EXPECT_TRUE(parseLogLevel(logLevelName(l), parsed));
+        EXPECT_EQ(parsed, l);
+    }
+}
+
+} // namespace
+} // namespace vcp

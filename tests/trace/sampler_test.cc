@@ -18,7 +18,7 @@ TEST(GaugeSampler, UnstartedSamplerSchedulesNothing)
 {
     Simulator sim(1);
     SpanTracer tracer;
-    GaugeSampler sampler(sim, tracer, msec(10));
+    GaugeSampler sampler(sim, &tracer, msec(10));
     sampler.addGauge("g", [] { return 1; });
 
     EXPECT_EQ(sim.pendingEvents(), 0u);
@@ -32,7 +32,7 @@ TEST(GaugeSampler, SamplesEveryPeriodOncStarted)
 {
     Simulator sim(1);
     SpanTracer tracer;
-    GaugeSampler sampler(sim, tracer, msec(10));
+    GaugeSampler sampler(sim, &tracer, msec(10));
     std::int64_t value = 0;
     sampler.addGauge("g", [&] { return ++value; });
 
@@ -55,7 +55,7 @@ TEST(GaugeSampler, MultipleGaugesSampleTogether)
 {
     Simulator sim(1);
     SpanTracer tracer;
-    GaugeSampler sampler(sim, tracer, msec(10));
+    GaugeSampler sampler(sim, &tracer, msec(10));
     sampler.addGauge("a", [] { return 1; });
     sampler.addGauge("b", [] { return 2; });
 
@@ -68,7 +68,7 @@ TEST(GaugeSampler, StopHaltsFutureTicks)
 {
     Simulator sim(1);
     SpanTracer tracer;
-    GaugeSampler sampler(sim, tracer, msec(10));
+    GaugeSampler sampler(sim, &tracer, msec(10));
     sampler.addGauge("g", [] { return 1; });
 
     sampler.start();
@@ -84,7 +84,7 @@ TEST(GaugeSampler, DisabledTracerSkipsRecordingButKeepsTicking)
     Simulator sim(1);
     SpanTracer tracer;
     tracer.setEnabled(false);
-    GaugeSampler sampler(sim, tracer, msec(10));
+    GaugeSampler sampler(sim, &tracer, msec(10));
     sampler.addGauge("g", [] { return 1; });
 
     sampler.start();

@@ -34,6 +34,9 @@
 #include "sim/parallel_sweep.hh"
 #include "sim/parse_util.hh"
 #include "stats/table.hh"
+#include "telemetry/health.hh"
+#include "telemetry/snapshot.hh"
+#include "telemetry/telemetry.hh"
 #include "trace/perfetto.hh"
 #include "trace/sampler.hh"
 #include "trace/shard_lanes.hh"
@@ -74,6 +77,16 @@ usage()
         "                     (--trace-out=FILE also accepted)\n"
         "  --trace-capacity N span ring capacity in records "
         "(default 1M)\n"
+        "  --metrics-out FILE stream windowed telemetry snapshots\n"
+        "                     as ND-JSON to FILE during the run and\n"
+        "                     Prometheus text format to FILE.prom\n"
+        "                     (--metrics-out=FILE also accepted)\n"
+        "  --metrics-interval S  snapshot window in sim-seconds "
+        "(default 60)\n"
+        "  --sample-interval MS  gauge sampling period in sim-ms "
+        "(default 100)\n"
+        "  --log-level L      silent|warn|info or 0..2 "
+        "(default info)\n"
         "  --parallel-shards N  partition the event set across N\n"
         "                     per-shard kernels (deterministic merge\n"
         "                     execution: output is byte-identical to\n"
@@ -291,6 +304,9 @@ main(int argc, char **argv)
     std::uint64_t seed = 1;
     double mtbf_hours = 0.0;
     std::string dump_ops, dump_actions, dump_stats, trace_out;
+    std::string metrics_out;
+    int metrics_interval_s = 60;
+    int sample_interval_ms = 100;
     std::size_t trace_capacity = 1u << 20;
     spec.workload.record_ops = true;
 
@@ -359,6 +375,27 @@ main(int argc, char **argv)
         } else if (arg == "--trace-capacity") {
             trace_capacity =
                 static_cast<std::size_t>(std::atoll(next()));
+        } else if (arg == "--metrics-out") {
+            metrics_out = next();
+        } else if (arg.rfind("--metrics-out=", 0) == 0) {
+            metrics_out = arg.substr(std::strlen("--metrics-out="));
+        } else if (arg == "--metrics-interval") {
+            metrics_interval_s =
+                parsePositiveInt("--metrics-interval", next());
+        } else if (arg == "--sample-interval") {
+            sample_interval_ms =
+                parsePositiveInt("--sample-interval", next());
+        } else if (arg == "--log-level") {
+            const char *l = next();
+            LogLevel lvl;
+            if (!parseLogLevel(l, lvl)) {
+                std::fprintf(stderr,
+                             "vcpsim: --log-level expects "
+                             "silent|warn|info or 0..2, got '%s'\n",
+                             l);
+                return 2;
+            }
+            setLogLevel(lvl);
         } else if (arg == "--quiet") {
             setLogQuiet(true);
         } else {
@@ -378,13 +415,30 @@ main(int argc, char **argv)
 
     std::unique_ptr<SpanTracer> tracer;
     std::unique_ptr<GaugeSampler> sampler;
+    std::unique_ptr<TelemetryRegistry> telem;
+    std::unique_ptr<SnapshotEmitter> emitter;
     if (!trace_out.empty()) {
         TracerConfig tc;
         tc.capacity = trace_capacity;
         tracer = std::make_unique<SpanTracer>(tc);
         cs.enableTracing(tracer.get());
-        sampler = std::make_unique<GaugeSampler>(cs.sim(), *tracer);
+    }
+    if (!metrics_out.empty()) {
+        telem = std::make_unique<TelemetryRegistry>(
+            seconds(metrics_interval_s));
+        cs.enableTelemetry(telem.get());
+        emitter = std::make_unique<SnapshotEmitter>(
+            cs.sim(), *telem, seconds(metrics_interval_s));
+        if (!emitter->openNdjson(metrics_out))
+            return 1;
+        emitter->start();
+    }
+    if (tracer || telem) {
+        sampler = std::make_unique<GaugeSampler>(
+            cs.sim(), tracer.get(), msec(sample_interval_ms));
         cs.addStandardGauges(*sampler);
+        if (telem)
+            sampler->attachTelemetry(telem.get());
         sampler->start();
     }
 
@@ -446,6 +500,35 @@ main(int argc, char **argv)
                         (unsigned long long)st.cross_sent,
                         (unsigned long long)st.cross_received);
         }
+    }
+
+    if (emitter) {
+        HealthReport hr =
+            buildHealthReport(*telem, cs.sim().now(),
+                              emitter->recentDominants(),
+                              emitter->windowWins());
+        double elapsed_s = toSeconds(cs.sim().now());
+        if (elapsed_s > 0.0) {
+            for (HostId h : cs.hostIds())
+                hr.top_hosts.push_back(
+                    {"host-" + std::to_string(h.value),
+                     srv.hostAgent(h).center().utilization()});
+            Fabric &fab = cs.network().topology();
+            for (std::size_t l = 0; l < fab.numLinks(); ++l) {
+                auto id = static_cast<FabricLinkId>(l);
+                hr.top_links.push_back(
+                    {fab.linkName(id),
+                     toSeconds(fab.link(id).busyTime()) /
+                         elapsed_s});
+            }
+            topKCongested(hr.top_hosts);
+            topKCongested(hr.top_links);
+        }
+        emitter->finish(hr);
+        std::printf("\n%s", healthText(hr).c_str());
+        std::printf("metrics: %llu snapshots -> %s (+ %s.prom)\n",
+                    (unsigned long long)emitter->snapshots(),
+                    metrics_out.c_str(), metrics_out.c_str());
     }
 
     bool ok = true;
