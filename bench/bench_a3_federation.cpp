@@ -115,7 +115,7 @@ main(int argc, char **argv)
     SweepOptions opts = parseSweepOptions(argc, argv);
     int burst = opts.positional.empty()
         ? 1024
-        : std::atoi(opts.positional[0].c_str());
+        : parsePositiveOption("burst", opts.positional[0].c_str());
     banner("A3", "control-plane scale-out (burst of " +
                      std::to_string(burst) +
                      " deploys, fixed hardware" +

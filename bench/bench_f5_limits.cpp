@@ -54,7 +54,7 @@ main(int argc, char **argv)
     SweepOptions opts = parseSweepOptions(argc, argv);
     int batch = opts.positional.empty()
         ? 512
-        : std::atoi(opts.positional[0].c_str());
+        : parsePositiveOption("batch", opts.positional[0].c_str());
     banner("F5", "admission-limit sweep (batch of " +
                      std::to_string(batch) + " linked clones)");
 

@@ -77,6 +77,18 @@ parsePositiveOption(const std::string &flag, const char *value)
     return v;
 }
 
+/** Strict positive real option parsing (std::atof would silently
+ *  turn garbage — "4h", "" — into 0.0). */
+inline double
+parsePositiveDoubleOption(const std::string &flag, const char *value)
+{
+    double v = 0;
+    if (!parseStrictPositiveDouble(value, v))
+        fatal("%s expects a positive number, got '%s'",
+              flag.c_str(), value);
+    return v;
+}
+
 /**
  * Parse --serial, --jobs N, --parallel-shards N, and --csv FILE;
  * anything else is kept as a positional argument for the bench to

@@ -72,7 +72,19 @@ HaManager::recoverHost(HostId host, std::function<void(bool)> done)
                      done = std::move(done)](const Task &t) mutable {
         if (!t.succeeded()) {
             // Remember the victims again; the caller may retry.
-            crashed.emplace(host, std::move(victims));
+            // Merge rather than emplace: a fresh crash may have
+            // repopulated the entry while the AddHost was in flight,
+            // and emplace would silently drop this victim list.
+            std::vector<VmId> &again = crashed[host];
+            if (again.empty()) {
+                again = std::move(victims);
+            } else {
+                again.insert(again.end(), victims.begin(),
+                             victims.end());
+                std::sort(again.begin(), again.end());
+                again.erase(std::unique(again.begin(), again.end()),
+                            again.end());
+            }
             if (done)
                 done(false);
             return;

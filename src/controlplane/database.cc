@@ -73,8 +73,29 @@ InventoryDatabase::runTxns(int n, InlineAction done)
 }
 
 void
+InventoryDatabase::setStalled(bool stalled)
+{
+    if (stalled_ == stalled)
+        return;
+    stalled_ = stalled;
+    if (stalled_)
+        return;
+    // Failover over: drain parked chains in stall order.  The queue
+    // is detached first so a re-stall during the drain parks the
+    // remainder onto a fresh queue instead of re-entering this loop.
+    std::vector<std::uint32_t> parked;
+    parked.swap(stalled_chains);
+    for (std::uint32_t idx : parked)
+        step(idx);
+}
+
+void
 InventoryDatabase::step(std::uint32_t idx)
 {
+    if (stalled_) {
+        stalled_chains.push_back(idx);
+        return;
+    }
     SimDuration service = costs.sampleDbTxn(inventorySize());
     chains[idx].txn_start = sim.now();
     pool.submit(service, [this, idx] {

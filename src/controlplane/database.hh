@@ -58,6 +58,22 @@ class InventoryDatabase
     /** Transactions committed so far. */
     std::uint64_t txnsCommitted() const { return txn_count; }
 
+    /**
+     * Stall or unstall the database (a failover window: the primary
+     * is gone, connections hang).  While stalled, transactions
+     * already in service complete, but the *next* transaction of
+     * every chain parks instead of entering the pool — exactly how a
+     * connection loss bites between statements.  Unstalling drains
+     * the parked chains in stall order.
+     */
+    void setStalled(bool stalled);
+
+    /** True while a failover window is open. */
+    bool stalled() const { return stalled_; }
+
+    /** Chains currently parked behind the stall. */
+    std::size_t stalledChains() const { return stalled_chains.size(); }
+
     /** The underlying queueing station (stats, utilization). */
     ServiceCenter &center() { return pool; }
     const ServiceCenter &center() const { return pool; }
@@ -108,6 +124,9 @@ class InventoryDatabase
     std::vector<std::uint32_t> free_chains;
 
     int active_chains = 0;
+    bool stalled_ = false;
+    /** Chains whose next txn is parked behind a failover window. */
+    std::vector<std::uint32_t> stalled_chains;
     SpanTracer *tracer = nullptr;
     std::uint16_t chains_name = 0;
     TelemetryRegistry *telem = nullptr;

@@ -202,6 +202,124 @@ ManagementServer::datastoreSlots(DatastoreId d)
     return *center;
 }
 
+void
+ManagementServer::disconnectHost(HostId h)
+{
+    if (!inv.hasHost(h))
+        panic("ManagementServer::disconnectHost: no such host");
+    Host &host = inv.host(h);
+    HostAgent &agent = hostAgent(h);
+    // A crashed host (disconnected in the inventory but with a live
+    // agent record) recovers through the HA path, not this one.
+    if (!host.connected() || !agent.connected())
+        return;
+    host.setConnected(false);
+    agent.setConnected(false);
+    ++agent_disconnects;
+    if (!disconnects_stat)
+        disconnects_stat = &stats.counter("agent.disconnects");
+    disconnects_stat->inc();
+    if (VCP_TELEM_ON(telem_))
+        t_disconnects->add(sim.now());
+}
+
+void
+ManagementServer::reconcileHost(HostId h, InlineAction done)
+{
+    if (!inv.hasHost(h))
+        panic("ManagementServer::reconcileHost: no such host");
+    HostAgent &agent = hostAgent(h);
+    if (agent.connected()) {
+        // Nothing to reconcile: the host was never disconnected, or
+        // it crashed — crash recovery goes through HaManager.
+        if (done)
+            done();
+        return;
+    }
+    agent.setConnected(true);
+    inv.host(h).setConnected(true);
+
+    std::uint32_t idx;
+    if (!reconcile_free.empty()) {
+        idx = reconcile_free.back();
+        reconcile_free.pop_back();
+    } else {
+        idx = static_cast<std::uint32_t>(reconcile_ctxs.size());
+        reconcile_ctxs.emplace_back();
+    }
+    ReconcileCtx &rc = reconcile_ctxs[idx];
+    rc.host = h;
+    rc.started = sim.now();
+    rc.done = std::move(done);
+
+    // The resync reads back the host's view of every resident VM
+    // through the same connection pool operations use — the cost
+    // grows with the host's population, like AddHost.
+    int txns = cfg.reconcile_base_txns +
+               cfg.reconcile_txns_per_vm *
+                   static_cast<int>(inv.host(h).vms().size());
+    db.runTxns(txns, [this, idx] { reconcileResync(idx); });
+}
+
+void
+ManagementServer::reconcileResync(std::uint32_t idx)
+{
+    ReconcileCtx &rc = reconcile_ctxs[idx];
+    HostId h = rc.host;
+    Host &host = inv.host(h);
+
+    // Residency audit: the database inventory is authoritative.  Any
+    // VM the host still lists that the DB destroyed or moved while
+    // the agent was dark is dropped from the host's registration.
+    std::uint64_t fixed = 0;
+    std::vector<VmId> stale;
+    for (VmId v : host.vms()) {
+        if (!inv.hasVm(v) || inv.vm(v).host != h)
+            stale.push_back(v);
+    }
+    for (VmId v : stale) {
+        host.unregisterVm(v);
+        ++fixed;
+    }
+
+    // Parked completions resume only after the resync committed:
+    // until the server has re-read the host's state it cannot trust
+    // any result the agent reports.
+    std::size_t resumed = hostAgent(h).resumeParked();
+
+    ++reconcile_runs;
+    reconcile_resumed += resumed;
+    reconcile_residency_fixed += fixed;
+    if (!reconciles_stat)
+        reconciles_stat = &stats.counter("agent.reconciles");
+    reconciles_stat->inc();
+    if (resumed > 0) {
+        if (!resumed_stat)
+            resumed_stat = &stats.counter("agent.reconcile_resumed");
+        resumed_stat->inc(static_cast<std::uint64_t>(resumed));
+    }
+    if (fixed > 0) {
+        if (!residency_fixed_stat) {
+            residency_fixed_stat =
+                &stats.counter("agent.reconcile_residency_fixed");
+        }
+        residency_fixed_stat->inc(fixed);
+    }
+    if (VCP_TELEM_ON(telem_)) {
+        t_reconcile->add(sim.now());
+        if (resumed > 0) {
+            t_reconcile_resumed->add(
+                sim.now(), static_cast<std::uint64_t>(resumed));
+        }
+        t_reconcile_lat->add(sim.now() - rc.started);
+    }
+
+    InlineAction done = std::move(rc.done);
+    reconcile_free.push_back(idx);
+    if (done)
+        done();
+}
+
 Histogram &
 ManagementServer::latencyHistogram(OpType t)
 {
@@ -282,6 +400,12 @@ ManagementServer::attachTelemetry(TelemetryRegistry *reg)
         t_op = telem_->counter("cp.op", shard);
         t_op_failed = telem_->counter("cp.op_failed", shard);
         t_op_lat = telem_->histogram("cp.op_us", shard);
+        t_disconnects = telem_->counter("agent.disconnects", shard);
+        t_reconcile = telem_->counter("agent.reconcile.runs", shard);
+        t_reconcile_resumed =
+            telem_->counter("agent.reconcile.resumed_ops", shard);
+        t_reconcile_lat =
+            telem_->histogram("agent.reconcile.us", shard);
     }
 }
 
@@ -645,6 +769,15 @@ ManagementServer::dataAgentGranted(CtxPtr ctx)
 void
 ManagementServer::dataSetupDone(CtxPtr ctx)
 {
+    // The agent went dark while the setup ran: park until the
+    // reconnect reconciliation re-enters here.  The agent slot and
+    // datastore slot stay held — the host-side work really is
+    // occupying them — and the parked window lands in this op's
+    // HostAgent phase time.
+    if (hostAgent(ctx->data_host)
+            .parkIfDisconnected([this, ctx] { dataSetupDone(ctx); })) {
+        return;
+    }
     ctx->task->addPhaseTime(TaskPhase::HostAgent,
                             sim.now() - ctx->phase_start);
     tracePhase(ctx, TaskPhase::HostAgent);
@@ -691,6 +824,12 @@ ManagementServer::dataSetupDone(CtxPtr ctx)
 void
 ManagementServer::dataCopyDone(CtxPtr ctx)
 {
+    // Same parking rule as dataSetupDone: a copy that finished
+    // against a dark agent cannot report back until reconciliation.
+    if (hostAgent(ctx->data_host)
+            .parkIfDisconnected([this, ctx] { dataCopyDone(ctx); })) {
+        return;
+    }
     ctx->task->addPhaseTime(TaskPhase::DataCopy,
                             sim.now() - ctx->phase_start);
     tracePhase(ctx, TaskPhase::DataCopy);
@@ -860,9 +999,17 @@ ManagementServer::execPower(CtxPtr ctx)
                     Vm &vm = inv.vm(vm_id);
                     switch (t) {
                       case OpType::PowerOn:
-                        vm.transitionTo(PowerState::PoweredOn);
-                        // Commit now belongs to the power state.
+                        // A host crash may have forced the VM off
+                        // mid-flight and released the commitment
+                        // already, so the clear must happen on both
+                        // branches; the failed transition then turns
+                        // into a task failure instead of a phantom
+                        // "restarted" success for a VM that is off.
                         ctx->committed_host = HostId();
+                        if (!vm.transitionTo(PowerState::PoweredOn)) {
+                            finish(ctx, TaskError::InvalidState);
+                            return;
+                        }
                         break;
                       case OpType::PowerOff:
                         // A host crash may have forced the VM off

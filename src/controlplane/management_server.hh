@@ -81,6 +81,16 @@ struct ManagementServerConfig
     SimDuration background_db_period = 0;
     int background_db_txns = 50;
 
+    /**
+     * Reconciliation cost after a host-agent reconnect: the resync
+     * runs @c reconcile_base_txns database transactions plus
+     * @c reconcile_txns_per_vm per resident VM before parked
+     * completions resume — the same inventory-size-coupled pattern
+     * that makes AddHost expensive.
+     */
+    int reconcile_base_txns = 8;
+    int reconcile_txns_per_vm = 2;
+
     /** Keep finished Task records for inspection (tests want this;
      *  long-running benches may turn it off to bound memory). */
     bool retain_finished_tasks = true;
@@ -154,6 +164,39 @@ class ManagementServer
 
     /** Bulk bytes moved by all data-plane phases so far. */
     Bytes bytesMoved() const { return bytes_moved; }
+    /** @} */
+
+    /**
+     * Mark host @p h's management agent as disconnected (the session
+     * dropped; the host itself keeps running, unlike a crash).  The
+     * host is disconnected in the inventory too, so submissions are
+     * rejected up front, and in-flight host-side completions park on
+     * the agent until reconcileHost() runs.  No-op when the host or
+     * agent is already disconnected.
+     */
+    void disconnectHost(HostId h);
+
+    /**
+     * Reconnect host @p h's agent and run the reconciliation pass:
+     * a DB resync sized by the host's resident-VM count, a residency
+     * audit repairing stale VM->host bindings, then every parked
+     * completion resumes in park order.  @p done (optional) fires
+     * when the pass completes.  No-op (runs @p done immediately) when
+     * the agent is not disconnected.
+     */
+    void reconcileHost(HostId h, InlineAction done = {});
+
+    /** @{ Disconnect/reconciliation lifetime counters. */
+    std::uint64_t agentDisconnects() const { return agent_disconnects; }
+    std::uint64_t reconciles() const { return reconcile_runs; }
+    std::uint64_t reconcileOpsResumed() const
+    {
+        return reconcile_resumed;
+    }
+    std::uint64_t reconcileResidencyFixed() const
+    {
+        return reconcile_residency_fixed;
+    }
     /** @} */
 
     /** End-to-end latency histogram for one op type (microseconds). */
@@ -305,6 +348,17 @@ class ManagementServer
     void releaseCtx(OpCtx *ctx);
     /** @} */
 
+    /** One reconciliation pass in flight (pooled by index). */
+    struct ReconcileCtx
+    {
+        HostId host;
+        SimTime started = 0;
+        InlineAction done;
+    };
+
+    /** DB resync finished: audit residency, resume parked ops. */
+    void reconcileResync(std::uint32_t idx);
+
     Simulator &sim;
     Inventory &inv;
     Network &net;
@@ -367,12 +421,29 @@ class ManagementServer
     Counter *bytes_moved_stat = nullptr;
     Counter *bg_txns_stat = nullptr;
 
+    /** @{ Reconciliation state. */
+    std::vector<ReconcileCtx> reconcile_ctxs;
+    std::vector<std::uint32_t> reconcile_free;
+    std::uint64_t agent_disconnects = 0;
+    std::uint64_t reconcile_runs = 0;
+    std::uint64_t reconcile_resumed = 0;
+    std::uint64_t reconcile_residency_fixed = 0;
+    Counter *disconnects_stat = nullptr;
+    Counter *reconciles_stat = nullptr;
+    Counter *resumed_stat = nullptr;
+    Counter *residency_fixed_stat = nullptr;
+    /** @} */
+
     TaskCallback task_observer;
     SpanTracer *tracer_ = nullptr;
     TelemetryRegistry *telem_ = nullptr;
     WindowedCounter *t_op = nullptr;
     WindowedCounter *t_op_failed = nullptr;
     LatencyHistogram *t_op_lat = nullptr;
+    WindowedCounter *t_disconnects = nullptr;
+    WindowedCounter *t_reconcile = nullptr;
+    WindowedCounter *t_reconcile_resumed = nullptr;
+    LatencyHistogram *t_reconcile_lat = nullptr;
     std::uint16_t sub_agent_wait_ = 0;
     std::uint16_t sub_agent_exec_ = 0;
     std::int64_t next_task_id = 1;

@@ -234,6 +234,15 @@ class Fabric
     /** Find a link by name; kInvalidFabricLink when absent. */
     FabricLinkId findLink(const std::string &name) const;
 
+    /** @{ Leaf-spine switch skeleton (empty on other topologies) —
+     *  fault injection picks partition victims from these. */
+    const std::vector<FabricNodeId> &torNodes() const { return tors_; }
+    const std::vector<FabricNodeId> &spineNodes() const
+    {
+        return spines_;
+    }
+    /** @} */
+
     /** Busiest-link busy time (the degenerate fabric's single link
      *  makes this the old flat-pipe busy time exactly). */
     SimDuration maxLinkBusyTime() const;

@@ -1,19 +1,20 @@
 /**
  * @file
- * Strict integer parsing.
+ * Strict numeric parsing.
  *
- * std::atoi silently turns garbage ("four", "", "8x") into 0, and a
- * bare strtoll accepts trailing junk — both have bitten real call
- * sites (trace CSV fields landing on tenant 0, env overrides falling
- * through without a word).  Every textual integer in the tree goes
- * through these helpers instead: the whole string must be a base-10
- * integer or the parse is rejected.
+ * std::atoi/atof silently turn garbage ("four", "", "8x") into 0,
+ * and a bare strtoll accepts trailing junk — both have bitten real
+ * call sites (trace CSV fields landing on tenant 0, `--hours abc`
+ * running a zero-hour simulation without a word).  Every textual
+ * number in the tree goes through these helpers instead: the whole
+ * string must be one base-10 number or the parse is rejected.
  */
 
 #ifndef VCP_SIM_PARSE_UTIL_HH
 #define VCP_SIM_PARSE_UTIL_HH
 
 #include <cerrno>
+#include <cmath>
 #include <cstdint>
 #include <cstdlib>
 
@@ -50,6 +51,79 @@ parseStrictPositiveInt(const char *s, int &out)
     if (!parseStrictInt(s, v) || v < 1 || v > INT32_MAX)
         return false;
     out = static_cast<int>(v);
+    return true;
+}
+
+/**
+ * Parse @p s as a complete base-10 unsigned 64-bit integer.  Unlike
+ * a bare strtoull, a leading '-' is rejected instead of wrapping.
+ * @return true and set @p out iff the entire string is one unsigned
+ *         integer.
+ */
+inline bool
+parseStrictU64(const char *s, std::uint64_t &out)
+{
+    if (!s || *s == '\0')
+        return false;
+    const char *p = s;
+    while (*p == ' ' || *p == '\t')
+        ++p;
+    if (*p == '-')
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    unsigned long long v = std::strtoull(s, &end, 10);
+    if (end == s || *end != '\0' || errno == ERANGE)
+        return false;
+    out = static_cast<std::uint64_t>(v);
+    return true;
+}
+
+/**
+ * Parse @p s as one complete finite floating-point number.  Rejects
+ * empty input, trailing junk, overflow, and non-finite spellings
+ * ("inf", "nan").
+ */
+inline bool
+parseStrictDouble(const char *s, double &out)
+{
+    if (!s || *s == '\0')
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    double v = std::strtod(s, &end);
+    if (end == s || *end != '\0' || errno == ERANGE ||
+        !std::isfinite(v)) {
+        return false;
+    }
+    out = v;
+    return true;
+}
+
+/**
+ * Parse @p s as a strictly positive finite floating-point number
+ * (> 0).
+ */
+inline bool
+parseStrictPositiveDouble(const char *s, double &out)
+{
+    double v = 0.0;
+    if (!parseStrictDouble(s, v) || v <= 0.0)
+        return false;
+    out = v;
+    return true;
+}
+
+/**
+ * Parse @p s as a non-negative finite floating-point number (>= 0).
+ */
+inline bool
+parseStrictNonNegativeDouble(const char *s, double &out)
+{
+    double v = 0.0;
+    if (!parseStrictDouble(s, v) || v < 0.0)
+        return false;
+    out = v;
     return true;
 }
 

@@ -64,8 +64,14 @@ FailureInjector::fire()
     SimDuration outage = static_cast<SimDuration>(
         rng.exponential(static_cast<double>(cfg.outage_mean)));
     sim.schedule(outage, [this, victim] {
+        // stop() must suppress recoveries too, not just new
+        // outages: the injector's contract is that after stop()
+        // nothing it scheduled mutates the cloud any more, so a
+        // stopped-mid-outage host simply stays down.
+        if (!running)
+            return;
         ha.recoverHost(victim, [this](bool ok) {
-            if (ok)
+            if (running && ok)
                 ++recovery_count;
         });
     });

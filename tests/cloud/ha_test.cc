@@ -137,6 +137,86 @@ TEST_F(HaTest, FailureInjectorDrivesOutagesAndRecoveries)
     inj.stop();
 }
 
+TEST_F(HaTest, StopMidOutageSuppressesScheduledRecovery)
+{
+    deploy(tenant0());
+    HaManager ha(srv());
+    FailureConfig fcfg;
+    fcfg.mtbf = minutes(10);
+    // Enormous outage mean so the recovery event is armed far in the
+    // future — stop() lands squarely inside the outage window.
+    fcfg.outage_mean = hours(50);
+    FailureInjector inj(ha, fcfg, Rng(7));
+    inj.start();
+    while (inj.outages() == 0 && sim().now() < hours(24))
+        drain(minutes(10));
+    ASSERT_GT(inj.outages(), 0u);
+    inj.stop();
+
+    // Run far past every armed recovery: a stopped injector must not
+    // mutate the cloud any more, so the host simply stays down.
+    sim().runUntil(sim().now() + hours(500));
+    EXPECT_EQ(inj.recoveries(), 0u);
+    bool any_down = false;
+    for (HostId h : cs->hostIds())
+        any_down = any_down || ha.isCrashed(h);
+    EXPECT_TRUE(any_down);
+}
+
+TEST_F(HaTest, SecondCrashDuringRestartDoesNotDoubleCount)
+{
+    HaManager ha(srv());
+    // Hand-place one powered-on VM on an otherwise idle host so the
+    // recovery boot storm is exactly one PowerOn we can interrupt.
+    HostId victim = cs->hostIds()[0];
+    VmConfig vc;
+    vc.name = "solo";
+    vc.vcpus = 1;
+    vc.memory = gib(2);
+    VmId vm = inv().createVm(vc);
+    inv().vm(vm).host = victim;
+    inv().host(victim).registerVm(vm);
+    OpRequest on;
+    on.type = OpType::PowerOn;
+    on.vm = vm;
+    std::optional<Task> boot;
+    srv().submit(on, [&](const Task &t) { boot = t; });
+    drain();
+    ASSERT_TRUE(boot.has_value() && boot->succeeded());
+
+    ASSERT_EQ(ha.crashHost(victim), 1u);
+    ha.recoverHost(victim);
+
+    // Step until the restart's PowerOn is mid-flight (the VM is
+    // PoweringOn), then yank the host again.
+    bool crashed_again = false;
+    for (int i = 0; i < 7200 && !crashed_again; ++i) {
+        sim().runUntil(sim().now() + seconds(1));
+        if (inv().vm(vm).powerState() == PowerState::PoweringOn) {
+            ha.crashHost(victim);
+            crashed_again = true;
+        }
+    }
+    ASSERT_TRUE(crashed_again);
+    drain(hours(1));
+
+    // The interrupted restart must fail (the VM is off again), not
+    // count as a phantom success that the next recovery double-counts.
+    EXPECT_EQ(ha.vmsRestarted(), 0u);
+    EXPECT_EQ(ha.restartFailures(), 1u);
+    EXPECT_EQ(inv().vm(vm).powerState(), PowerState::PoweredOff);
+    EXPECT_TRUE(ha.isCrashed(victim));
+    EXPECT_EQ(inv().host(victim).committedVcpus(), 0);
+
+    std::optional<bool> result;
+    ha.recoverHost(victim, [&](bool ok) { result = ok; });
+    drain(hours(1));
+    ASSERT_TRUE(result.value_or(false));
+    EXPECT_EQ(ha.vmsRestarted(), 1u);
+    EXPECT_EQ(inv().vm(vm).powerState(), PowerState::PoweredOn);
+    EXPECT_EQ(inv().host(victim).committedVcpus(), 1);
+}
+
 TEST_F(HaTest, InjectorDisabledWithZeroMtbf)
 {
     HaManager ha(srv());

@@ -159,6 +159,16 @@ class OpFuzzer
             EXPECT_EQ(inv.disk(did).ref_count, children[did])
                 << "disk " << did.value;
 
+        // Disconnect/reconnect symmetry: every disconnect schedules
+        // its reconcile, and the drain runs them all, so no agent may
+        // end the storm dark or holding parked completions.
+        for (HostId h : hosts) {
+            EXPECT_TRUE(srv.hostAgent(h).connected())
+                << "host " << h.value;
+            EXPECT_EQ(srv.hostAgent(h).parkedOps(), 0u)
+                << "host " << h.value;
+        }
+
         // Registration symmetry.
         for (VmId v : inv.vmIds()) {
             const Vm &vm = inv.vm(v);
@@ -199,6 +209,24 @@ class OpFuzzer
                                                     minutes(10));
                 sim.schedule(outage, [this, victim] {
                     ha.recoverHost(victim);
+                });
+            }
+            return;
+        }
+
+        // Occasionally drop a host agent's session (the host keeps
+        // running) and schedule the reconnect+reconciliation — parks
+        // whatever completions land during the dark window.
+        if (rng.bernoulli(0.01)) {
+            HostId victim = hosts[static_cast<std::size_t>(
+                rng.uniformInt(0, 2))];
+            if (inv.host(victim).connected() &&
+                !ha.isCrashed(victim)) {
+                srv.disconnectHost(victim);
+                SimDuration dark = rng.uniformInt(seconds(5),
+                                                  minutes(5));
+                sim.schedule(dark, [this, victim] {
+                    srv.reconcileHost(victim);
                 });
             }
             return;

@@ -41,6 +41,7 @@
 #include "trace/sampler.hh"
 #include "trace/shard_lanes.hh"
 #include "trace/tracer.hh"
+#include "workload/chaos.hh"
 #include "workload/failures.hh"
 #include "workload/profiles.hh"
 
@@ -68,6 +69,11 @@ usage()
         "(default 2)\n"
         "  --mtbf H           inject host failures (mean time "
         "between failures, hours)\n"
+        "  --chaos SPEC       run a chaos scenario; SPEC is\n"
+        "                     family:mtbf=30m,duration=5m[;...] with\n"
+        "                     families crash|disconnect|db-stall|\n"
+        "                     link-down|switch-down and s|m|h "
+        "suffixes\n"
         "  --dump-ops FILE    write the finished-operation trace "
         "CSV\n"
         "  --dump-actions F   write the generator action trace CSV\n"
@@ -123,6 +129,71 @@ parsePositiveInt(const char *flag, const char *value)
 {
     int v = 0;
     if (!vcp::parseStrictPositiveInt(value, v) || v > (1 << 20)) {
+        std::fprintf(stderr,
+                     "vcpsim: %s expects a positive integer, got "
+                     "'%s'\n",
+                     flag, value);
+        std::exit(2);
+    }
+    return v;
+}
+
+/**
+ * Parse a strictly positive real option value ("0.5", "24").  The
+ * std::atof these sites used silently turned garbage into 0.0, so
+ * `--hours 4h` quietly simulated nothing.
+ */
+double
+parsePositiveDouble(const char *flag, const char *value)
+{
+    double v = 0;
+    if (!vcp::parseStrictPositiveDouble(value, v)) {
+        std::fprintf(stderr,
+                     "vcpsim: %s expects a positive number, got "
+                     "'%s'\n",
+                     flag, value);
+        std::exit(2);
+    }
+    return v;
+}
+
+/** Parse a real option value that may legitimately be zero
+ *  (--rate 0, --mtbf 0 both mean "off"). */
+double
+parseNonNegativeDouble(const char *flag, const char *value)
+{
+    double v = 0;
+    if (!vcp::parseStrictNonNegativeDouble(value, v)) {
+        std::fprintf(stderr,
+                     "vcpsim: %s expects a non-negative number, got "
+                     "'%s'\n",
+                     flag, value);
+        std::exit(2);
+    }
+    return v;
+}
+
+/** Parse an unsigned 64-bit option value (seeds; 0 is a fine seed). */
+std::uint64_t
+parseU64(const char *flag, const char *value)
+{
+    std::uint64_t v = 0;
+    if (!vcp::parseStrictU64(value, v)) {
+        std::fprintf(stderr,
+                     "vcpsim: %s expects an unsigned integer, got "
+                     "'%s'\n",
+                     flag, value);
+        std::exit(2);
+    }
+    return v;
+}
+
+/** Parse a strictly positive unsigned 64-bit option value. */
+std::uint64_t
+parsePositiveU64(const char *flag, const char *value)
+{
+    std::uint64_t v = parseU64(flag, value);
+    if (v == 0) {
         std::fprintf(stderr,
                      "vcpsim: %s expects a positive integer, got "
                      "'%s'\n",
@@ -198,8 +269,9 @@ sweepMain(int argc, char **argv)
                 std::size_t comma = list.find(',', pos);
                 if (comma == std::string::npos)
                     comma = list.size();
-                rates.push_back(
-                    std::atof(list.substr(pos, comma - pos).c_str()));
+                rates.push_back(parsePositiveDouble(
+                    "--rates",
+                    list.substr(pos, comma - pos).c_str()));
                 pos = comma + 1;
             }
             if (rates.empty()) {
@@ -207,9 +279,9 @@ sweepMain(int argc, char **argv)
                 return 2;
             }
         } else if (arg == "--hours") {
-            hours_per_point = std::atof(next());
+            hours_per_point = parsePositiveDouble("--hours", next());
         } else if (arg == "--seed") {
-            seed = static_cast<std::uint64_t>(std::atoll(next()));
+            seed = parseU64("--seed", next());
         } else if (arg == "--full-clones") {
             spec.director.use_linked_clones = false;
         } else if (arg == "--jobs") {
@@ -303,6 +375,7 @@ main(int argc, char **argv)
 
     std::uint64_t seed = 1;
     double mtbf_hours = 0.0;
+    ChaosConfig chaos_cfg;
     std::string dump_ops, dump_actions, dump_stats, trace_out;
     std::string metrics_out;
     int metrics_interval_s = 60;
@@ -320,18 +393,27 @@ main(int argc, char **argv)
             return argv[++i];
         };
         if (arg == "--hours") {
-            spec.workload.duration = hours(std::atof(next()));
+            spec.workload.duration =
+                hours(parsePositiveDouble("--hours", next()));
         } else if (arg == "--seed") {
-            seed = static_cast<std::uint64_t>(std::atoll(next()));
+            seed = parseU64("--seed", next());
         } else if (arg == "--rate") {
-            spec.workload.arrival.rate_per_hour = std::atof(next());
+            spec.workload.arrival.rate_per_hour =
+                parseNonNegativeDouble("--rate", next());
         } else if (arg == "--hosts") {
             spec.infra.hosts = parsePositiveInt("--hosts", next());
         } else if (arg == "--parallel-shards") {
             spec.exec.shards =
                 parsePositiveInt("--parallel-shards", next());
         } else if (arg == "--mtbf") {
-            mtbf_hours = std::atof(next());
+            mtbf_hours = parseNonNegativeDouble("--mtbf", next());
+        } else if (arg == "--chaos") {
+            std::string err;
+            if (!parseChaosSpec(next(), chaos_cfg, err)) {
+                std::fprintf(stderr, "vcpsim: --chaos: %s\n",
+                             err.c_str());
+                return 2;
+            }
         } else if (arg == "--full-clones") {
             spec.director.use_linked_clones = false;
         } else if (arg == "--fabric") {
@@ -373,8 +455,8 @@ main(int argc, char **argv)
         } else if (arg.rfind("--trace-out=", 0) == 0) {
             trace_out = arg.substr(std::strlen("--trace-out="));
         } else if (arg == "--trace-capacity") {
-            trace_capacity =
-                static_cast<std::size_t>(std::atoll(next()));
+            trace_capacity = static_cast<std::size_t>(
+                parsePositiveU64("--trace-capacity", next()));
         } else if (arg == "--metrics-out") {
             metrics_out = next();
         } else if (arg.rfind("--metrics-out=", 0) == 0) {
@@ -449,6 +531,18 @@ main(int argc, char **argv)
     if (mtbf_hours > 0.0)
         injector.start();
 
+    // The chaos fork only happens when a scenario is configured, so
+    // a chaos-free run's RNG stream — and therefore its output —
+    // stays byte-identical to earlier builds.
+    std::unique_ptr<ChaosEngine> chaos;
+    if (!chaos_cfg.faults.empty()) {
+        chaos = std::make_unique<ChaosEngine>(
+            cs.server(), ha, chaos_cfg, cs.sim().rng().fork());
+        if (telem)
+            chaos->attachTelemetry(telem.get());
+        chaos->start();
+    }
+
     cs.run();
 
     CloudDirector &cloud = cs.cloud();
@@ -480,6 +574,35 @@ main(int argc, char **argv)
                     (unsigned long long)ha.vmsCrashed(),
                     (unsigned long long)ha.vmsRestarted(),
                     (unsigned long long)ha.restartFailures());
+    }
+
+    if (chaos) {
+        std::printf("chaos: %llu faults injected, %llu recovered; "
+                    "%llu agent disconnects, %llu reconciles "
+                    "(%llu ops resumed)\n",
+                    (unsigned long long)chaos->injected(),
+                    (unsigned long long)chaos->recovered(),
+                    (unsigned long long)srv.agentDisconnects(),
+                    (unsigned long long)srv.reconciles(),
+                    (unsigned long long)srv.reconcileOpsResumed());
+        for (std::size_t f = 0; f < kNumFaultFamilies; ++f) {
+            const auto &fs =
+                chaos->familyStats(static_cast<FaultFamily>(f));
+            if (fs.injected == 0)
+                continue;
+            std::printf(
+                "  %-11s %llu injected, %llu recovered",
+                faultFamilyName(static_cast<FaultFamily>(f)),
+                (unsigned long long)fs.injected,
+                (unsigned long long)fs.recovered);
+            if (fs.recovery_us.count() > 0) {
+                std::printf(
+                    ", recovery mean %.1fs max %.1fs",
+                    fs.recovery_us.mean() / 1e6,
+                    fs.recovery_us.max() / 1e6);
+            }
+            std::printf("\n");
+        }
     }
 
     auto utils = collectUtilizations(srv);
